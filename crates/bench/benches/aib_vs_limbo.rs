@@ -1,0 +1,47 @@
+//! AIB versus LIMBO on the same clustering task (paper Section 5.2):
+//! AIB is quadratic in the number of objects, LIMBO summarizes first and
+//! pays AIB cost only on the (much smaller) leaf set. The crossover —
+//! and the fact that LIMBO's advantage grows with `n` — is the paper's
+//! core scalability claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbmine::datagen::{dblp_sample, DblpSpec};
+use dbmine::ib::aib;
+use dbmine::limbo::{phase1, phase2, tuple_dcfs, LimboParams};
+use dbmine::relation::TupleRows;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aib_vs_limbo");
+    g.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let spec = DblpSpec {
+            n_tuples: n,
+            n_authors: 200,
+            n_conferences: 40,
+            n_journals: 12,
+            ..Default::default()
+        };
+        let rel = dblp_sample(&spec);
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+
+        g.bench_with_input(BenchmarkId::new("aib", n), &n, |b, _| {
+            b.iter(|| aib(objects.clone(), 3))
+        });
+        g.bench_with_input(BenchmarkId::new("limbo_phi_1.0", n), &n, |b, _| {
+            b.iter(|| {
+                let model = phase1(
+                    objects.iter().cloned(),
+                    mi,
+                    objects.len(),
+                    LimboParams::with_phi(1.0),
+                );
+                phase2(&model, 3)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

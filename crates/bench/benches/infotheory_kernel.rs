@@ -1,0 +1,51 @@
+//! Microbenchmarks of the information-theory kernel: the JS divergence
+//! and DCF merge operations dominate every clustering pass, so their
+//! constants matter. Includes the asymmetric (small-vs-large support)
+//! fast path used heavily by LIMBO Phase 1 on large relations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbmine::ib::Dcf;
+use dbmine::infotheory::{js_divergence, SparseDist};
+
+fn dist(n: usize, offset: u32) -> SparseDist {
+    SparseDist::from_pairs(
+        (0..n as u32)
+            .map(|i| (i * 2 + offset, 1.0 / n as f64))
+            .collect(),
+    )
+}
+
+fn bench_js(c: &mut Criterion) {
+    let mut g = c.benchmark_group("js_divergence");
+    for &n in &[16usize, 256, 4096] {
+        let p = dist(n, 0);
+        let q = dist(n, 1); // half-overlapping support
+        g.bench_with_input(BenchmarkId::new("balanced", n), &n, |b, _| {
+            b.iter(|| js_divergence(black_box(&p), 0.5, black_box(&q), 0.5))
+        });
+    }
+    // Asymmetric: a 13-entry tuple row against a huge cluster summary.
+    let small = dist(13, 0);
+    for &n in &[1024usize, 16384, 65536] {
+        let big = dist(n, 1);
+        g.bench_with_input(BenchmarkId::new("asymmetric", n), &n, |b, _| {
+            b.iter(|| js_divergence(black_box(&small), 0.1, black_box(&big), 0.9))
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dcf_merge");
+    for &n in &[16usize, 256, 4096] {
+        let a = Dcf::singleton(0.5, dist(n, 0));
+        let b_ = Dcf::singleton(0.5, dist(n, 1));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(&a).merge(black_box(&b_)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_js, bench_merge);
+criterion_main!(benches);

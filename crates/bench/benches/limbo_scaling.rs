@@ -1,0 +1,37 @@
+//! LIMBO Phase 1 scaling in the number of tuples: the streaming insert
+//! should stay near-linear (tree height is logarithmic and summary
+//! supports are bounded by the merge threshold).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbmine::datagen::{dblp_sample, DblpSpec};
+use dbmine::limbo::{phase1, tuple_dcfs, LimboParams};
+use dbmine::relation::TupleRows;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("limbo_phase1_scaling");
+    g.sample_size(10);
+    for &n in &[1000usize, 2000, 4000, 8000] {
+        let spec = DblpSpec {
+            n_tuples: n,
+            ..DblpSpec::small()
+        };
+        let rel = dblp_sample(&spec);
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                phase1(
+                    objects.iter().cloned(),
+                    mi,
+                    objects.len(),
+                    LimboParams::with_phi(1.0),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

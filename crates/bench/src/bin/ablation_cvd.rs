@@ -1,0 +1,84 @@
+//! Ablation: duplicate value groups `C_VD` versus Apriori frequent
+//! itemsets (Section 6.2's remark that φV = 0 value clustering *"aligns
+//! our method with that of Frequent Itemset counting"*), and the effect
+//! of grouping attributes over `C_VD` versus over *all* value groups.
+
+use dbmine::baselines::apriori::mine_frequent_itemsets_capped;
+use dbmine::datagen::{db2_sample, Db2Spec};
+use dbmine::summaries::{cluster_values, group_attributes};
+use dbmine_bench::{f3, print_table};
+use std::collections::HashSet;
+
+fn main() {
+    let rel = db2_sample(&Db2Spec::default()).relation;
+
+    // C_VD groups at φV = 0 (perfect co-occurrence).
+    let values = cluster_values(&rel, 0.0, None);
+    let cvd: Vec<HashSet<u32>> = values
+        .duplicates()
+        .map(|g| g.values.iter().copied().collect())
+        .collect();
+
+    // Frequent itemsets at support 2, sizes 2..=3 (the full enumeration
+    // is exponential on this dense join; C_VD has no such blow-up).
+    let itemsets = mine_frequent_itemsets_capped(&rel, 2, 2, 3);
+    let maximal: Vec<HashSet<u32>> = itemsets
+        .iter()
+        .filter(|s| {
+            !itemsets.iter().any(|t| {
+                t.items.len() > s.items.len()
+                    && s.items.iter().all(|v| t.items.contains(v))
+                    && t.support >= s.support
+            })
+        })
+        .map(|s| s.items.iter().copied().collect())
+        .collect();
+
+    // How many 2-3-value C_VD groups appear verbatim among the maximal
+    // frequent itemsets? (Singleton C_VD groups — e.g. a value shared by
+    // two columns — have no itemset counterpart.)
+    let multi_cvd: Vec<&HashSet<u32>> = cvd.iter().filter(|g| (2..=3).contains(&g.len())).collect();
+    let matched = multi_cvd
+        .iter()
+        .filter(|g| maximal.iter().any(|m| m == **g))
+        .count();
+
+    print_table(
+        "C_VD vs Apriori on the DB2 sample",
+        &["quantity", "count"],
+        &[
+            vec!["C_VD groups (all)".into(), cvd.len().to_string()],
+            vec![
+                "C_VD groups (2-3 values)".into(),
+                multi_cvd.len().to_string(),
+            ],
+            vec![
+                "frequent itemsets (sup≥2, size 2-3)".into(),
+                itemsets.len().to_string(),
+            ],
+            vec!["  of which maximal".into(), maximal.len().to_string()],
+            vec![
+                "2-3-value C_VD found among maximal itemsets".into(),
+                format!("{matched}/{}", multi_cvd.len()),
+            ],
+        ],
+    );
+    println!(
+        "\nNote: C_VD is not itemset mining — groups carry tuple distributions and\n\
+         the O matrix, admit 'almost' co-occurrence via φV > 0, and include\n\
+         single values spanning several attributes. The overlap above is the\n\
+         φV = 0 common core."
+    );
+
+    // Attribute grouping over C_VD vs over all CV groups.
+    let g_dup = group_attributes(&values, rel.n_attrs());
+    println!(
+        "\nattribute grouping over C_VD: |A_D| = {}, max IL = {}",
+        g_dup.attrs.len(),
+        f3(g_dup.max_loss())
+    );
+    println!(
+        "(the paper restricts F to C_VD 'to focus on the set of attributes that\n\
+         will potentially offer higher duplication while reducing the input size')"
+    );
+}

@@ -1,0 +1,103 @@
+//! Scalability profile: wall time of LIMBO's three phases and of the
+//! dependency miners as the tuple count grows — the quantitative backing
+//! for the paper's "scalable" claim (its Section 5.2 motivation).
+//!
+//! Uses the synthetic generator (planted FDs, Zipf skew) so the relation
+//! shape is held constant while `n` grows.
+
+use dbmine::datagen::{synthetic, PlantedFd, SyntheticSpec};
+use dbmine::fdmine::{mine_fdep, mine_tane, TaneOptions};
+use dbmine::limbo::{phase1, phase2, phase3, tuple_dcfs, LimboParams};
+use dbmine::relation::TupleRows;
+use dbmine_bench::print_table;
+use std::time::Instant;
+
+fn ms(start: Instant) -> String {
+    format!("{:.1?}", start.elapsed())
+}
+
+fn main() {
+    let sizes = [2_000usize, 5_000, 10_000, 20_000, 50_000];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let spec = SyntheticSpec {
+            n_tuples: n,
+            n_attrs: 8,
+            domain: 64,
+            skew: 0.9,
+            fds: vec![
+                PlantedFd {
+                    determinant: 0,
+                    dependents: vec![1, 2],
+                },
+                PlantedFd {
+                    determinant: 3,
+                    dependents: vec![4],
+                },
+            ],
+            noise: 0.0,
+            seed: 99,
+        };
+        let rel = synthetic(&spec);
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+
+        let t1 = Instant::now();
+        let model = phase1(
+            objects.iter().cloned(),
+            mi,
+            objects.len(),
+            LimboParams::with_phi(1.0),
+        );
+        let p1 = ms(t1);
+
+        let t2 = Instant::now();
+        let clustering = phase2(&model, 4);
+        let p2 = ms(t2);
+
+        let t3 = Instant::now();
+        let _ = phase3(objects.iter(), &clustering);
+        let p3 = ms(t3);
+
+        let tt = Instant::now();
+        let fds_tane = mine_tane(&rel, TaneOptions { max_lhs: Some(3) });
+        let tane_t = ms(tt);
+
+        // FDEP is quadratic — only run it while affordable.
+        let fdep_t = if n <= 5_000 {
+            let tf = Instant::now();
+            let _ = mine_fdep(&rel);
+            ms(tf)
+        } else {
+            "-".to_string()
+        };
+
+        rows.push(vec![
+            n.to_string(),
+            model.leaves.len().to_string(),
+            p1,
+            p2,
+            p3,
+            format!("{} ({})", tane_t, fds_tane.len()),
+            fdep_t,
+        ]);
+    }
+    print_table(
+        "scaling on synthetic data (8 attrs, 2 planted FDs, φT = 1.0, k = 4)",
+        &[
+            "n",
+            "leaves",
+            "phase1",
+            "phase2",
+            "phase3",
+            "TANE (FDs)",
+            "FDEP",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPhase 1 is the stream pass (near-linear); Phase 2 cost depends on the\n\
+         leaf count, not n; FDEP's quadratic pairwise scan is the reason the\n\
+         paper's large-scale experiments switch miners."
+    );
+}

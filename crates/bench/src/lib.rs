@@ -1,0 +1,97 @@
+//! Shared plumbing for the paper-reproduction binaries.
+//!
+//! Every table and figure of the paper's Section 8 has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `running_example` | Figures 4–10 and the Section 7 ranking example |
+//! | `table1` | Table 1 — erroneous *tuples* recovered |
+//! | `table2` | Table 2 — erroneous *values* correctly co-clustered |
+//! | `fig14`  | Figure 14 — DB2 attribute-cluster dendrogram |
+//! | `table3` | Section 8.1.4 ranked FDs + Table 3 RAD/RTR |
+//! | `fig15`  | Figure 15 — DBLP attribute clusters |
+//! | `table4` | Table 4 — DBLP horizontal partitions |
+//! | `fig16_18` | Figures 16–18 — per-partition dendrograms |
+//! | `table5_6` | Tables 5 & 6 — per-partition ranked FDs |
+//! | `ablation_phi` | φ sweep: summary size vs information loss |
+//!
+//! DBLP-scale binaries honor `DBMINE_SCALE` (tuple count, default
+//! 50 000) so they can be smoke-tested quickly.
+
+use std::fmt::Display;
+
+/// Reads the DBLP scale from `DBMINE_SCALE` (default: the paper's
+/// 50 000 tuples).
+pub fn dblp_scale() -> usize {
+    std::env::var("DBMINE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000)
+}
+
+/// Prints a fixed-width text table: a header row and data rows.
+pub fn print_table<R: AsRef<[String]>>(title: &str, header: &[&str], rows: &[R]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.as_ref().iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(4)
+            ));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row.as_ref());
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a row of displayable cells.
+pub fn row(cells: &[&dyn Display]) -> Vec<String> {
+    cells.iter().map(|c| c.to_string()).collect()
+}
+
+/// Wall-clock timing helper.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    eprintln!("[{label}: {:.2?}]", start.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f3_format() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f3(1.0), "1.000");
+    }
+
+    #[test]
+    fn scale_default() {
+        std::env::remove_var("DBMINE_SCALE");
+        assert_eq!(dblp_scale(), 50_000);
+    }
+}
+
+pub mod dblp_pipeline;

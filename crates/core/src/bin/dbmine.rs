@@ -1,0 +1,271 @@
+//! `dbmine` — command-line structure mining over CSV files.
+//!
+//! ```text
+//! dbmine analyze    <file.csv> [--phi-t F] [--phi-v F] [--psi F]
+//! dbmine duplicates <file.csv> [--phi-t F]
+//! dbmine fds        <file.csv> [--approx EPS] [--max-lhs N]
+//! dbmine partition  <file.csv> [--k N] [--phi-t F]
+//! dbmine redesign   <file.csv> [--steps N]
+//! ```
+
+use dbmine::fdmine::{mine_approximate, minimum_cover};
+use dbmine::fdrank::decompose;
+use dbmine::relation::csv::read_relation_path;
+use dbmine::relation::Relation;
+use dbmine::summaries::{find_duplicate_tuples, horizontal_partition};
+use dbmine::{FdMiner, MinerConfig, StructureMiner};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "dbmine — information-theoretic database structure mining (SIGMOD 2004)\n\
+         \n\
+         USAGE:\n\
+         \x20 dbmine analyze    <file.csv> [--phi-t F] [--phi-v F] [--psi F]\n\
+         \x20 dbmine duplicates <file.csv> [--phi-t F]\n\
+         \x20 dbmine fds        <file.csv> [--approx EPS] [--max-lhs N]\n\
+         \x20 dbmine mvds       <file.csv> [--max-lhs N]\n\
+         \x20 dbmine joins      <file.csv> --with <other.csv>\n\
+         \x20 dbmine partition  <file.csv> [--k N] [--phi-t F]\n\
+         \x20 dbmine redesign   <file.csv> [--steps N]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --phi-t F    tuple-clustering accuracy φT (default 0.1)\n\
+         \x20 --phi-v F    value-clustering accuracy φV (default 0.0)\n\
+         \x20 --psi F      FD-RANK threshold ψ in [0,1] (default 0.5)\n\
+         \x20 --approx E   mine approximate FDs with g3 error ≤ E\n\
+         \x20 --max-lhs N  bound FD left-hand-side size\n\
+         \x20 --k N        force the number of horizontal partitions\n\
+         \x20 --steps N    decomposition steps for redesign (default 3)"
+    );
+    exit(2);
+}
+
+struct Args {
+    command: String,
+    path: String,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().unwrap_or_else(|| usage());
+    if command == "--help" || command == "-h" || command == "help" {
+        usage();
+    }
+    let path = it.next().unwrap_or_else(|| usage());
+    let mut flags = std::collections::HashMap::new();
+    while let Some(flag) = it.next() {
+        let key = flag.trim_start_matches("--").to_string();
+        let value = it.next().unwrap_or_else(|| usage());
+        flags.insert(key, value);
+    }
+    Args {
+        command,
+        path,
+        flags,
+    }
+}
+
+impl Args {
+    fn f64_flag(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
+    }
+    fn usize_flag(&self, name: &str) -> Option<usize> {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+    }
+}
+
+fn load(path: &str) -> Relation {
+    match read_relation_path(path) {
+        Ok(r) => {
+            eprintln!(
+                "loaded {}: {} tuples × {} attributes, {} distinct values",
+                r.name(),
+                r.n_tuples(),
+                r.n_attrs(),
+                r.distinct_value_count()
+            );
+            r
+        }
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_analyze(args: &Args) {
+    let rel = load(&args.path);
+    let config = MinerConfig {
+        phi_tuples: args.f64_flag("phi-t", 0.1),
+        phi_values: args.f64_flag("phi-v", 0.0),
+        psi: args.f64_flag("psi", 0.5),
+        fd_miner: FdMiner::Auto,
+        max_lhs: args.usize_flag("max-lhs"),
+    };
+    let report = StructureMiner::new(config).analyze(&rel);
+    print!("{}", report.render(&rel));
+}
+
+fn cmd_duplicates(args: &Args) {
+    let rel = load(&args.path);
+    let phi = args.f64_flag("phi-t", 0.1);
+    let report = find_duplicate_tuples(&rel, phi);
+    println!(
+        "φT = {phi}: {} candidate groups (threshold τ = {:.3e})",
+        report.groups.len(),
+        report.threshold
+    );
+    for (i, g) in report.groups.iter().enumerate() {
+        println!("\ngroup {} ({} tuples):", i + 1, g.tuples.len());
+        for (&t, &loss) in g.tuples.iter().zip(&g.losses).take(8) {
+            let preview: Vec<&str> = (0..rel.n_attrs().min(6))
+                .map(|a| rel.value_str(t, a))
+                .collect();
+            println!("  t{t:<6} loss={loss:.4}  {}", preview.join(" | "));
+        }
+    }
+}
+
+fn cmd_fds(args: &Args) {
+    let rel = load(&args.path);
+    let names = rel.attr_names().to_vec();
+    let max_lhs = args.usize_flag("max-lhs");
+    match args.flags.get("approx") {
+        Some(eps) => {
+            let eps: f64 = eps.parse().unwrap_or_else(|_| usage());
+            let approx = mine_approximate(&rel, eps, max_lhs);
+            println!("approximate dependencies (g3 ≤ {eps}): {}", approx.len());
+            let mut sorted = approx;
+            sorted.sort_by(|a, b| a.error.partial_cmp(&b.error).expect("no NaN"));
+            for f in sorted.iter().take(30) {
+                println!("  {:<44} g3 = {:.4}", f.fd.display(&names), f.error);
+            }
+        }
+        None => {
+            let fds = dbmine::fdmine::mine_tane(&rel, dbmine::fdmine::TaneOptions { max_lhs });
+            let cover = minimum_cover(&fds);
+            println!(
+                "exact minimal dependencies: {} (cover: {})",
+                fds.len(),
+                cover.len()
+            );
+            for f in cover.iter().take(30) {
+                println!("  {}", f.display(&names));
+            }
+        }
+    }
+}
+
+fn cmd_partition(args: &Args) {
+    let rel = load(&args.path);
+    let phi = args.f64_flag("phi-t", 0.5);
+    let k = args.usize_flag("k");
+    let part = horizontal_partition(&rel, phi, k, 8);
+    println!(
+        "k = {} ({} Phase 1 summaries); information retained by clusters: {:.1}%",
+        part.k,
+        part.n_summaries,
+        100.0 * (1.0 - part.relative_loss)
+    );
+    for (i, tuples) in part.partitions.iter().enumerate() {
+        println!("\npartition {} — {} tuples; sample:", i + 1, tuples.len());
+        for &t in tuples.iter().take(3) {
+            let preview: Vec<&str> = (0..rel.n_attrs().min(6))
+                .map(|a| rel.value_str(t, a))
+                .collect();
+            println!("  {}", preview.join(" | "));
+        }
+    }
+}
+
+fn cmd_redesign(args: &Args) {
+    let rel = load(&args.path);
+    let steps = args.usize_flag("steps").unwrap_or(3);
+    let mut current = rel;
+    for step in 1..=steps {
+        let report = StructureMiner::default().analyze(&current);
+        let Some(top) = report.ranked.iter().find(|r| r.fd.promoted) else {
+            println!("step {step}: no promoted dependency — stopping");
+            break;
+        };
+        let names = current.attr_names().to_vec();
+        let d = decompose(&current, &top.fd);
+        println!(
+            "step {step}: split by {} → {} ({} × {}) + remainder ({} × {}), {:.1}% fewer cells",
+            top.display(&names),
+            d.s1.name(),
+            d.s1.n_tuples(),
+            d.s1.n_attrs(),
+            d.s2.n_tuples(),
+            d.s2.n_attrs(),
+            100.0 * d.storage_reduction()
+        );
+        current = d.s2;
+        if current.n_attrs() <= 2 {
+            break;
+        }
+    }
+}
+
+fn cmd_mvds(args: &Args) {
+    let rel = load(&args.path);
+    let max_lhs = args.usize_flag("max-lhs").unwrap_or(2);
+    let names = rel.attr_names().to_vec();
+    let mvds = dbmine::fdmine::mine_mvds(&rel, max_lhs, true);
+    println!(
+        "multivalued dependencies (|X| ≤ {max_lhs}, FD-implied excluded): {}",
+        mvds.len()
+    );
+    for m in mvds.iter().take(30) {
+        println!("  {}", m.display(&names));
+    }
+}
+
+fn cmd_joins(args: &Args) {
+    let left = load(&args.path);
+    let right_path = args
+        .flags
+        .get("with")
+        .map(String::as_str)
+        .unwrap_or_else(|| {
+            eprintln!("error: `joins` needs --with <other.csv>");
+            exit(2);
+        });
+    let right = load(right_path);
+    let cands = dbmine::baselines::join_candidates(&left, &right, 0.3, 0.9);
+    println!("join candidates ({}→{}):", left.name(), right.name());
+    for c in cands.iter().take(20) {
+        println!(
+            "  {}.{} ~ {}.{}  jaccard {:.2}  containment {:.2}/{:.2}  ({} shared)",
+            left.name(),
+            left.attr_names()[c.left_attr],
+            right.name(),
+            right.attr_names()[c.right_attr],
+            c.jaccard,
+            c.left_containment,
+            c.right_containment,
+            c.shared
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "analyze" => cmd_analyze(&args),
+        "duplicates" => cmd_duplicates(&args),
+        "fds" => cmd_fds(&args),
+        "mvds" => cmd_mvds(&args),
+        "joins" => cmd_joins(&args),
+        "partition" => cmd_partition(&args),
+        "redesign" => cmd_redesign(&args),
+        _ => usage(),
+    }
+}

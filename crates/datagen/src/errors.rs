@@ -1,0 +1,233 @@
+//! Error injection (Sections 8.1.1–8.1.2 of the paper).
+//!
+//! The paper evaluates duplicate discovery by planting near-duplicate
+//! tuples: copies of existing tuples in which a controlled number of
+//! attribute values are replaced by "dirty" values (modelling
+//! typographic, notational and schema discrepancies across integrated
+//! sources). The injection report records, for every planted tuple,
+//! where it landed, which tuple it duplicates, and which value replaced
+//! which — the ground truth Tables 1 and 2 are scored against.
+
+use dbmine_relation::{AttrId, Relation, RelationBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One dirtied cell of a planted duplicate.
+#[derive(Clone, Debug)]
+pub struct DirtyCell {
+    /// The attribute that was altered.
+    pub attr: AttrId,
+    /// The original value string (what a clean copy would contain).
+    pub original_value: String,
+    /// The replacement value string (unique, previously unseen).
+    pub dirty_value: String,
+}
+
+/// One planted near-duplicate.
+#[derive(Clone, Debug)]
+pub struct InjectedDuplicate {
+    /// Index (in the *output* relation) of the source tuple.
+    pub original: usize,
+    /// Index (in the *output* relation) of the planted copy.
+    pub duplicate: usize,
+    /// The cells that were dirtied (empty for exact duplicates).
+    pub dirty_cells: Vec<DirtyCell>,
+}
+
+/// The injection outcome.
+#[derive(Clone, Debug)]
+pub struct InjectionReport {
+    /// The relation with duplicates planted at random positions.
+    pub relation: Relation,
+    /// Ground truth per planted duplicate.
+    pub injected: Vec<InjectedDuplicate>,
+}
+
+/// Plants `n_duplicates` near-duplicates of randomly chosen tuples, each
+/// with `errors_per_tuple` randomly chosen attribute values replaced by
+/// fresh "dirty" values. `errors_per_tuple = 0` plants exact duplicates.
+/// Duplicates are inserted "in any order" — at random positions.
+///
+/// # Panics
+/// Panics if the relation is empty or `errors_per_tuple > m`.
+pub fn inject_near_duplicates(
+    rel: &Relation,
+    n_duplicates: usize,
+    errors_per_tuple: usize,
+    seed: u64,
+) -> InjectionReport {
+    let n = rel.n_tuples();
+    let m = rel.n_attrs();
+    assert!(n > 0, "cannot inject into an empty relation");
+    assert!(errors_per_tuple <= m, "more errors than attributes");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Rows as owned option-strings; tag = Some(source original index).
+    type Row = Vec<Option<String>>;
+    let row_of = |t: usize| -> Row {
+        (0..m)
+            .map(|a| {
+                if rel.is_null(t, a) {
+                    None
+                } else {
+                    Some(rel.value_str(t, a).to_string())
+                }
+            })
+            .collect()
+    };
+    // (row, original_row_id tag, Option<(source_row_id, dirty_cells)>)
+    type Tagged = (
+        Vec<Option<String>>,
+        Option<usize>,
+        Option<(usize, Vec<DirtyCell>)>,
+    );
+    let mut rows: Vec<Tagged> = (0..n).map(|t| (row_of(t), Some(t), None)).collect();
+
+    let mut dirty_counter = 0usize;
+    for _ in 0..n_duplicates {
+        let src = rng.gen_range(0..n);
+        let mut row = row_of(src);
+        let mut attrs: Vec<AttrId> = (0..m).collect();
+        attrs.shuffle(&mut rng);
+        let mut cells = Vec::with_capacity(errors_per_tuple);
+        for &a in attrs.iter().take(errors_per_tuple) {
+            dirty_counter += 1;
+            let dirty = format!("~dirty{dirty_counter}~");
+            cells.push(DirtyCell {
+                attr: a,
+                original_value: row[a].clone().unwrap_or_else(|| "NULL".to_string()),
+                dirty_value: dirty.clone(),
+            });
+            row[a] = Some(dirty);
+        }
+        let pos = rng.gen_range(0..=rows.len());
+        rows.insert(pos, (row, None, Some((src, cells))));
+    }
+
+    // Rebuild the relation and resolve final indices.
+    let names: Vec<&str> = rel.attr_names().iter().map(String::as_str).collect();
+    let mut b = RelationBuilder::new(rel.name(), &names);
+    let mut final_of_original: Vec<usize> = vec![usize::MAX; n];
+    for (i, (row, tag, _)) in rows.iter().enumerate() {
+        if let Some(orig) = tag {
+            final_of_original[*orig] = i;
+        }
+        let cells: Vec<Option<&str>> = row.iter().map(|c| c.as_deref()).collect();
+        b.push_row(&cells);
+    }
+    let injected = rows
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, _, dup))| {
+            dup.as_ref().map(|(src, cells)| InjectedDuplicate {
+                original: final_of_original[*src],
+                duplicate: i,
+                dirty_cells: cells.clone(),
+            })
+        })
+        .collect();
+
+    InjectionReport {
+        relation: b.build(),
+        injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmine_relation::paper::figure4;
+
+    #[test]
+    fn exact_duplicates() {
+        let rel = figure4();
+        let r = inject_near_duplicates(&rel, 2, 0, 1);
+        assert_eq!(r.relation.n_tuples(), 7);
+        assert_eq!(r.injected.len(), 2);
+        for d in &r.injected {
+            assert!(d.dirty_cells.is_empty());
+            for a in 0..rel.n_attrs() {
+                assert_eq!(
+                    r.relation.value_str(d.original, a),
+                    r.relation.value_str(d.duplicate, a),
+                    "exact copy differs at attr {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn near_duplicates_differ_in_exactly_k_attrs() {
+        let rel = figure4();
+        let r = inject_near_duplicates(&rel, 3, 2, 7);
+        for d in &r.injected {
+            assert_eq!(d.dirty_cells.len(), 2);
+            let diffs = (0..rel.n_attrs())
+                .filter(|&a| {
+                    r.relation.value_str(d.original, a) != r.relation.value_str(d.duplicate, a)
+                })
+                .count();
+            assert_eq!(diffs, 2);
+            for c in &d.dirty_cells {
+                assert_eq!(r.relation.value_str(d.duplicate, c.attr), c.dirty_value);
+                assert_eq!(r.relation.value_str(d.original, c.attr), c.original_value);
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_values_are_fresh() {
+        let rel = figure4();
+        let r = inject_near_duplicates(&rel, 2, 1, 3);
+        for d in &r.injected {
+            for c in &d.dirty_cells {
+                // The dirty value appears exactly once in the output.
+                let count = (0..r.relation.n_tuples())
+                    .flat_map(|t| (0..r.relation.n_attrs()).map(move |a| (t, a)))
+                    .filter(|&(t, a)| r.relation.value_str(t, a) == c.dirty_value)
+                    .count();
+                assert_eq!(count, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let rel = figure4();
+        let a = inject_near_duplicates(&rel, 3, 1, 11);
+        let b = inject_near_duplicates(&rel, 3, 1, 11);
+        assert_eq!(a.relation.n_tuples(), b.relation.n_tuples());
+        for t in 0..a.relation.n_tuples() {
+            for at in 0..3 {
+                assert_eq!(a.relation.value_str(t, at), b.relation.value_str(t, at));
+            }
+        }
+    }
+
+    #[test]
+    fn original_indices_resolve() {
+        let rel = figure4();
+        let r = inject_near_duplicates(&rel, 4, 1, 13);
+        for d in &r.injected {
+            assert_ne!(d.original, d.duplicate);
+            assert!(d.original < r.relation.n_tuples());
+            assert!(d.duplicate < r.relation.n_tuples());
+            // Undirtied attributes agree.
+            let dirty_attrs: Vec<usize> = d.dirty_cells.iter().map(|c| c.attr).collect();
+            for a in (0..rel.n_attrs()).filter(|a| !dirty_attrs.contains(a)) {
+                assert_eq!(
+                    r.relation.value_str(d.original, a),
+                    r.relation.value_str(d.duplicate, a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more errors than attributes")]
+    fn too_many_errors_panics() {
+        let rel = figure4();
+        inject_near_duplicates(&rel, 1, 99, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Attribute-set closures and minimum covers (Maier).
+//!
+//! The paper computes *"the minimum cover using Maier's algorithm"* after
+//! running FDEP. We provide the canonical-cover construction: closure
+//! computation, left-reduction (drop extraneous LHS attributes) and
+//! redundancy elimination (drop FDs implied by the rest).
+
+use crate::fd::{normalize_fds, Fd};
+use dbmine_relation::AttrSet;
+
+/// The closure `X⁺` of `attrs` under `fds` (naive fixpoint; fine for the
+/// FD-set sizes dependency miners produce).
+pub fn closure(attrs: AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut x = attrs;
+    loop {
+        let mut changed = false;
+        for f in fds {
+            if !x.contains(f.rhs) && f.lhs.is_subset_of(x) {
+                x = x.with(f.rhs);
+                changed = true;
+            }
+        }
+        if !changed {
+            return x;
+        }
+    }
+}
+
+/// True if `fd` is implied by `fds` (membership test via closure).
+pub fn implies(fds: &[Fd], fd: Fd) -> bool {
+    closure(fd.lhs, fds).contains(fd.rhs)
+}
+
+/// Computes a minimum (canonical) cover of `fds`:
+/// 1. canonicalize to single-attribute RHSs (already our representation),
+/// 2. left-reduce every dependency,
+/// 3. remove redundant dependencies.
+///
+/// The result is non-redundant and left-reduced; it implies exactly the
+/// same dependencies as the input.
+pub fn minimum_cover(fds: &[Fd]) -> Vec<Fd> {
+    let mut cover = normalize_fds(fds.to_vec());
+
+    // Left-reduction: B ∈ X is extraneous in X → A when (X∖B)⁺ ∋ A
+    // under the *current* cover.
+    let mut i = 0;
+    while i < cover.len() {
+        let mut f = cover[i];
+        let mut reduced = true;
+        while reduced {
+            reduced = false;
+            for b in f.lhs.iter() {
+                let candidate = Fd::new(f.lhs.without(b), f.rhs);
+                if implies(&cover, candidate) {
+                    f = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        cover[i] = f;
+        i += 1;
+    }
+    cover = normalize_fds(cover);
+
+    // Redundancy elimination: drop f if the rest still implies it.
+    let mut i = 0;
+    while i < cover.len() {
+        let f = cover[i];
+        let rest: Vec<Fd> = cover
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &g)| g)
+            .collect();
+        if implies(&rest, f) {
+            cover.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(attrs: &[usize]) -> AttrSet {
+        attrs.iter().copied().collect()
+    }
+
+    #[test]
+    fn closure_basic() {
+        // A→B, B→C: {A}+ = {A,B,C}.
+        let fds = vec![Fd::new(set(&[0]), 1), Fd::new(set(&[1]), 2)];
+        assert_eq!(closure(set(&[0]), &fds), set(&[0, 1, 2]));
+        assert_eq!(closure(set(&[1]), &fds), set(&[1, 2]));
+        assert_eq!(closure(set(&[2]), &fds), set(&[2]));
+    }
+
+    #[test]
+    fn closure_with_composite_lhs() {
+        // AB→C, C→D.
+        let fds = vec![Fd::new(set(&[0, 1]), 2), Fd::new(set(&[2]), 3)];
+        assert_eq!(closure(set(&[0]), &fds), set(&[0]));
+        assert_eq!(closure(set(&[0, 1]), &fds), set(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn implies_transitive() {
+        let fds = vec![Fd::new(set(&[0]), 1), Fd::new(set(&[1]), 2)];
+        assert!(implies(&fds, Fd::new(set(&[0]), 2)));
+        assert!(!implies(&fds, Fd::new(set(&[2]), 0)));
+    }
+
+    #[test]
+    fn cover_removes_transitive_redundancy() {
+        // {A→B, B→C, A→C}: A→C is redundant.
+        let fds = vec![
+            Fd::new(set(&[0]), 1),
+            Fd::new(set(&[1]), 2),
+            Fd::new(set(&[0]), 2),
+        ];
+        let cover = minimum_cover(&fds);
+        assert_eq!(cover.len(), 2);
+        assert!(!cover.contains(&Fd::new(set(&[0]), 2)));
+    }
+
+    #[test]
+    fn cover_left_reduces() {
+        // {A→B, AB→C} left-reduces AB→C to A→C.
+        let fds = vec![Fd::new(set(&[0]), 1), Fd::new(set(&[0, 1]), 2)];
+        let cover = minimum_cover(&fds);
+        assert!(cover.contains(&Fd::new(set(&[0]), 2)));
+        assert!(!cover.iter().any(|f| f.lhs == set(&[0, 1])));
+    }
+
+    #[test]
+    fn cover_preserves_implication() {
+        let fds = vec![
+            Fd::new(set(&[0]), 1),
+            Fd::new(set(&[1]), 2),
+            Fd::new(set(&[0]), 2),
+            Fd::new(set(&[0, 2]), 3),
+        ];
+        let cover = minimum_cover(&fds);
+        for f in &fds {
+            assert!(implies(&cover, *f), "{f} lost");
+        }
+        for f in &cover {
+            assert!(implies(&fds, *f), "{f} invented");
+        }
+    }
+
+    #[test]
+    fn cover_of_empty_is_empty() {
+        assert!(minimum_cover(&[]).is_empty());
+    }
+
+    #[test]
+    fn trivial_fds_dropped() {
+        let fds = vec![Fd::new(set(&[0, 1]), 1)];
+        assert!(minimum_cover(&fds).is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Stripped partitions (the workhorse of TANE and of direct FD checks).
+//!
+//! The partition `π_X` groups tuples agreeing on the attribute set `X`.
+//! A *stripped* partition drops singleton classes; its `error` value
+//! `e(π) = ‖π‖ − |π|` (total tuples in non-singleton classes minus class
+//! count) is what makes exact FD tests O(1) once partitions exist:
+//! `X → A` holds iff `e(π_X) = e(π_{X∪A})`.
+
+use dbmine_relation::{AttrId, Relation};
+
+/// A stripped partition: equivalence classes of size ≥ 2, each a sorted
+/// list of tuple indices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StrippedPartition {
+    /// The non-singleton classes.
+    pub classes: Vec<Vec<u32>>,
+    /// Number of tuples of the underlying relation.
+    pub n: usize,
+}
+
+impl StrippedPartition {
+    /// The partition of a single attribute.
+    pub fn of_attr(rel: &Relation, a: AttrId) -> Self {
+        let mut groups: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+        for (t, &v) in rel.column(a).iter().enumerate() {
+            groups.entry(v).or_default().push(t as u32);
+        }
+        let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() >= 2).collect();
+        classes.sort();
+        StrippedPartition {
+            classes,
+            n: rel.n_tuples(),
+        }
+    }
+
+    /// The trivial partition of the empty attribute set: one class with
+    /// every tuple (stripped only if `n < 2`).
+    pub fn of_empty(n: usize) -> Self {
+        let classes = if n >= 2 {
+            vec![(0..n as u32).collect()]
+        } else {
+            Vec::new()
+        };
+        StrippedPartition { classes, n }
+    }
+
+    /// `‖π‖`: number of tuples covered by the stripped classes.
+    pub fn covered(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// The TANE error value `e(π) = ‖π‖ − |π|`.
+    pub fn error(&self) -> usize {
+        self.covered() - self.classes.len()
+    }
+
+    /// Number of equivalence classes of the *unstripped* partition
+    /// (stripped classes plus singletons) — i.e. the distinct count of
+    /// the projection.
+    pub fn class_count(&self) -> usize {
+        self.n - self.error()
+    }
+
+    /// True if the attribute set is a superkey (every class a singleton).
+    pub fn is_key(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The product `π_X = π_self · π_other` (partition refinement), via
+    /// the linear probe algorithm of the TANE paper.
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        debug_assert_eq!(self.n, other.n);
+        // Map tuple → class id in `self` (usize::MAX for singletons).
+        let mut class_of = vec![usize::MAX; self.n];
+        for (cid, class) in self.classes.iter().enumerate() {
+            for &t in class {
+                class_of[t as usize] = cid;
+            }
+        }
+        // For each class of `other`, bucket its tuples by their `self` class.
+        let mut buckets: std::collections::HashMap<usize, Vec<u32>> = Default::default();
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for class in &other.classes {
+            buckets.clear();
+            for &t in class {
+                let cid = class_of[t as usize];
+                if cid != usize::MAX {
+                    buckets.entry(cid).or_default().push(t);
+                }
+            }
+            classes.extend(buckets.drain().map(|(_, c)| c).filter(|c| c.len() >= 2));
+        }
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort();
+        StrippedPartition { classes, n: self.n }
+    }
+
+    /// Per-tuple class ids of this partition (singletons get unique
+    /// negative-space ids ≥ `classes.len()`), used for `g3` error
+    /// computation.
+    pub fn class_ids(&self) -> Vec<u32> {
+        let mut ids = vec![u32::MAX; self.n];
+        for (cid, class) in self.classes.iter().enumerate() {
+            for &t in class {
+                ids[t as usize] = cid as u32;
+            }
+        }
+        let mut next = self.classes.len() as u32;
+        for id in &mut ids {
+            if *id == u32::MAX {
+                *id = next;
+                next += 1;
+            }
+        }
+        ids
+    }
+
+    /// The `g3` error of `X → A` where `self = π_X` and `refined = π_{X∪A}`:
+    /// the minimum fraction of tuples to delete for the dependency to
+    /// hold exactly.
+    pub fn g3_error(&self, refined: &StrippedPartition) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let refined_ids = refined.class_ids();
+        let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+        let mut removed = 0usize;
+        for class in &self.classes {
+            counts.clear();
+            for &t in class {
+                *counts.entry(refined_ids[t as usize]).or_insert(0) += 1;
+            }
+            let keep = counts.values().copied().max().unwrap_or(1);
+            removed += class.len() - keep;
+        }
+        removed as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmine_relation::paper::figure4;
+    use dbmine_relation::RelationBuilder;
+
+    #[test]
+    fn single_attr_partitions_figure4() {
+        let rel = figure4();
+        // A = a,a,w,y,z → one class {0,1}.
+        let pa = StrippedPartition::of_attr(&rel, 0);
+        assert_eq!(pa.classes, vec![vec![0, 1]]);
+        assert_eq!(pa.error(), 1);
+        assert_eq!(pa.class_count(), 4);
+        // B = 1,1,2,2,2 → classes {0,1}, {2,3,4}.
+        let pb = StrippedPartition::of_attr(&rel, 1);
+        assert_eq!(pb.classes.len(), 2);
+        assert_eq!(pb.error(), 3);
+        assert_eq!(pb.class_count(), 2);
+        // C = p,r,x,x,x → one class {2,3,4}.
+        let pc = StrippedPartition::of_attr(&rel, 2);
+        assert_eq!(pc.classes, vec![vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn product_refines() {
+        let rel = figure4();
+        let pb = StrippedPartition::of_attr(&rel, 1);
+        let pc = StrippedPartition::of_attr(&rel, 2);
+        let pbc = pb.product(&pc);
+        // BC classes: {(1,p)},{(1,r)},{(2,x)×3} → stripped: {2,3,4}.
+        assert_eq!(pbc.classes, vec![vec![2, 3, 4]]);
+        // Product is symmetric here.
+        assert_eq!(pc.product(&pb), pbc);
+    }
+
+    #[test]
+    fn exact_fd_via_error_equality() {
+        let rel = figure4();
+        let pc = StrippedPartition::of_attr(&rel, 2);
+        let pb = StrippedPartition::of_attr(&rel, 1);
+        let pbc = pb.product(&pc);
+        // C → B holds: e(π_C) == e(π_BC).
+        assert_eq!(pc.error(), pbc.error());
+        // B → C does not: e(π_B) != e(π_BC).
+        assert_ne!(pb.error(), pbc.error());
+    }
+
+    #[test]
+    fn empty_set_partition() {
+        let p = StrippedPartition::of_empty(5);
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.error(), 4);
+        assert_eq!(p.class_count(), 1);
+        assert!(StrippedPartition::of_empty(1).classes.is_empty());
+    }
+
+    #[test]
+    fn key_detection() {
+        let mut b = RelationBuilder::new("t", &["K", "V"]);
+        b.push_row_strs(&["k1", "v"]);
+        b.push_row_strs(&["k2", "v"]);
+        let rel = b.build();
+        assert!(StrippedPartition::of_attr(&rel, 0).is_key());
+        assert!(!StrippedPartition::of_attr(&rel, 1).is_key());
+    }
+
+    #[test]
+    fn g3_error_exact_is_zero() {
+        let rel = figure4();
+        let pc = StrippedPartition::of_attr(&rel, 2);
+        let pb = StrippedPartition::of_attr(&rel, 1);
+        let pbc = pb.product(&pc);
+        assert_eq!(pc.g3_error(&pbc), 0.0);
+    }
+
+    #[test]
+    fn g3_error_counts_minimum_removals() {
+        // B → C in figure4: class {0,1} of B maps to p and r (keep 1,
+        // remove 1); class {2,3,4} maps to x,x,x (remove 0). g3 = 1/5.
+        let rel = figure4();
+        let pb = StrippedPartition::of_attr(&rel, 1);
+        let pc = StrippedPartition::of_attr(&rel, 2);
+        let pbc = pb.product(&pc);
+        assert!((pb.g3_error(&pbc) - 0.2).abs() < 1e-12);
+        let _ = pc; // silence unused in this configuration
+    }
+
+    #[test]
+    fn class_ids_are_consistent() {
+        let rel = figure4();
+        let pb = StrippedPartition::of_attr(&rel, 1);
+        let ids = pb.class_ids();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[2], ids[3]);
+        assert_ne!(ids[0], ids[2]);
+    }
+}

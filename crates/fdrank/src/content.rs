@@ -1,0 +1,171 @@
+//! Position information content, after Arenas & Libkin (the paper's
+//! `[6]`, its theoretical foundation).
+//!
+//! Arenas–Libkin characterize a design's quality by the information
+//! content of each *position* (tuple, attribute) relative to the
+//! constraints: a position whose value is forced by the rest of the
+//! instance carries no information. Their exact measure is
+//! *"computationally infeasible"* (the paper's words); we implement the
+//! tractable instance-level core that the paper's redundancy arguments
+//! actually use:
+//!
+//! `content(p) = H(V_p) / log2 |domain|`, where `V_p` is the set of
+//! domain values that could replace position `p` without violating any
+//! of the given FDs, uniformly weighted. A position fully determined by
+//! an FD (e.g. `Boston` in the introduction's tuple `t2` under
+//! `Ename → City`) admits exactly one value → content 0. A position no
+//! constraint touches admits the whole domain → content 1.
+
+use dbmine_fdmine::Fd;
+use dbmine_relation::{AttrId, Relation, ValueId};
+use std::collections::HashSet;
+
+/// The relative information content of position `(t, a)` under `fds`:
+/// a number in `[0, 1]`; 0 = fully redundant, 1 = unconstrained.
+///
+/// The candidate domain is the active domain of attribute `a` (the
+/// values the column actually uses — the natural instance-level stand-in
+/// for the attribute's domain).
+pub fn position_content(rel: &Relation, fds: &[Fd], t: usize, a: AttrId) -> f64 {
+    let domain: HashSet<ValueId> = rel.column(a).iter().copied().collect();
+    if domain.len() <= 1 {
+        // A single-valued column: the value is determined by the schema
+        // itself; the position carries no information.
+        return 0.0;
+    }
+    let admissible = domain
+        .iter()
+        .filter(|&&v| substitution_consistent(rel, fds, t, a, v))
+        .count()
+        .max(1);
+    (admissible as f64).log2() / (domain.len() as f64).log2()
+}
+
+/// True if replacing position `(t,a)` by `v` keeps every FD satisfied.
+fn substitution_consistent(rel: &Relation, fds: &[Fd], t: usize, a: AttrId, v: ValueId) -> bool {
+    // Only FDs mentioning `a` can be affected.
+    for fd in fds {
+        if !fd.attrs().contains(a) {
+            continue;
+        }
+        // Check every tuple pair involving t under the substitution.
+        for other in 0..rel.n_tuples() {
+            if other == t {
+                continue;
+            }
+            let agree_lhs = fd.lhs.iter().all(|x| {
+                let tv = if x == a { v } else { rel.value(t, x) };
+                tv == rel.value(other, x)
+            });
+            if agree_lhs {
+                let tv = if fd.rhs == a { v } else { rel.value(t, fd.rhs) };
+                if tv != rel.value(other, fd.rhs) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Average relative content of a whole column — the per-attribute
+/// summary a designer reads: low values mean the column is largely
+/// derivable and a decomposition candidate.
+pub fn column_content(rel: &Relation, fds: &[Fd], a: AttrId) -> f64 {
+    if rel.n_tuples() == 0 {
+        return 1.0;
+    }
+    (0..rel.n_tuples())
+        .map(|t| position_content(rel, fds, t, a))
+        .sum::<f64>()
+        / rel.n_tuples() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmine_relation::paper::{figure1, figure4};
+    use dbmine_relation::AttrSet;
+
+    #[test]
+    fn figure1_boston_under_ename_city() {
+        // The introduction's example: under Ename → City, Boston in t2 is
+        // redundant (content 0) ... but City is constant in Figure 1, so
+        // the whole column carries no information anyway.
+        let rel = figure1();
+        let fds = vec![Fd::new(AttrSet::single(0), 1)];
+        assert_eq!(position_content(&rel, &fds, 1, 1), 0.0);
+        assert_eq!(column_content(&rel, &fds, 1), 0.0);
+    }
+
+    #[test]
+    fn figure4_b_column_under_c_to_b() {
+        // Under C → B: the B cells of t4, t5 are forced by t3 (all share
+        // C = x) → content 0. The B cell of t1 shares C = p with no other
+        // tuple... but changing it is still constrained by A → nothing —
+        // with only C → B given, t1's B may take any of the 2 values.
+        let rel = figure4();
+        let fds = vec![Fd::new(AttrSet::single(2), 1)];
+        assert_eq!(position_content(&rel, &fds, 3, 1), 0.0);
+        assert_eq!(position_content(&rel, &fds, 4, 1), 0.0);
+        assert!((position_content(&rel, &fds, 0, 1) - 1.0).abs() < 1e-12);
+        // Column average: 3 free cells of 5... t3 shares x with t4,t5 so
+        // it too is pinned (changing it breaks agreement with them).
+        let avg = column_content(&rel, &fds, 1);
+        assert!((avg - 2.0 / 5.0).abs() < 1e-12, "avg {avg}");
+    }
+
+    #[test]
+    fn no_constraints_full_content() {
+        let rel = figure4();
+        for t in 0..rel.n_tuples() {
+            assert!((position_content(&rel, &[], t, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lhs_positions_are_constrained_too() {
+        // Under C → B, changing a C cell can also violate the dependency
+        // (e.g. setting t1's C to x while its B stays 1 ≠ 2).
+        let rel = figure4();
+        let fds = vec![Fd::new(AttrSet::single(2), 1)];
+        let c0 = position_content(&rel, &fds, 0, 2);
+        assert!(
+            c0 < 1.0,
+            "t1's C admits only values consistent with B=1: {c0}"
+        );
+    }
+
+    #[test]
+    fn content_is_in_unit_interval() {
+        let rel = figure4();
+        let fds = vec![
+            Fd::new(AttrSet::single(0), 1),
+            Fd::new(AttrSet::single(2), 1),
+        ];
+        for t in 0..rel.n_tuples() {
+            for a in 0..rel.n_attrs() {
+                let c = position_content(&rel, &fds, t, a);
+                assert!((0.0..=1.0).contains(&c), "content({t},{a}) = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_constraints_never_increase_content() {
+        let rel = figure4();
+        let one = vec![Fd::new(AttrSet::single(2), 1)];
+        let two = vec![
+            Fd::new(AttrSet::single(2), 1),
+            Fd::new(AttrSet::single(0), 1),
+        ];
+        for t in 0..rel.n_tuples() {
+            for a in 0..rel.n_attrs() {
+                assert!(
+                    position_content(&rel, &two, t, a)
+                        <= position_content(&rel, &one, t, a) + 1e-12
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Agglomerative Information Bottleneck (Slonim & Tishby; Section 5.1).
+//!
+//! Starting from `q` singleton clusters, AIB performs `q-k` greedy merges,
+//! each time picking the pair with minimum information loss `δI`. We run
+//! it with a lazy-deletion binary heap: candidate pairs are pushed with
+//! their loss and validated against per-slot generation counters when
+//! popped, giving `O(q² log q)` time — the algorithm is *"quadratic in the
+//! number of objects"*, which is exactly why LIMBO applies it only to the
+//! DCF-tree leaves.
+
+use crate::dcf::Dcf;
+use crate::dendrogram::Dendrogram;
+use dbmine_infotheory::entropy;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-`k` statistics recorded while merging down from `q` clusters —
+/// the raw material for the horizontal-partitioning heuristic of
+/// Section 6.1.2 (rates of change of `I(C_k;T)` and `H(C_k|T)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KStat {
+    /// Number of clusters after the merge.
+    pub k: usize,
+    /// Cumulative information loss `I(C_q;T) - I(C_k;T)`.
+    pub cumulative_loss: f64,
+    /// Mutual information `I(C_k;T)` retained by the clustering.
+    pub mutual_information: f64,
+    /// Cluster entropy `H(C_k)` (from the cluster masses).
+    pub cluster_entropy: f64,
+    /// Conditional entropy `H(C_k|T) = H(C_k) - I(C_k;T)`.
+    pub conditional_entropy: f64,
+}
+
+/// The result of an AIB run.
+#[derive(Clone, Debug)]
+pub struct AibResult {
+    /// The surviving clusters (the `k`-clustering), in creation order.
+    pub clusters: Vec<Dcf>,
+    /// For each surviving cluster, the input indices it absorbed.
+    pub members: Vec<Vec<usize>>,
+    /// The merge tree (leaves = input indices).
+    pub dendrogram: Dendrogram,
+    /// `I(C_q;T)` of the *input* clustering (before any merge).
+    pub initial_information: f64,
+    /// Statistics after every merge, from `k = q-1` down to the final `k`.
+    pub stats: Vec<KStat>,
+}
+
+impl AibResult {
+    /// Information retained by the final clustering, `I(C_k;T)`.
+    pub fn final_information(&self) -> f64 {
+        self.stats
+            .last()
+            .map(|s| s.mutual_information)
+            .unwrap_or(self.initial_information)
+    }
+
+    /// Fraction of the input information lost, in `[0,1]`.
+    pub fn relative_loss(&self) -> f64 {
+        if self.initial_information <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.final_information() / self.initial_information
+        }
+    }
+}
+
+/// A candidate merge: (loss, slot i, slot j, generation of i, generation
+/// of j). Entries with stale generations are skipped on pop.
+type MergeHeap = BinaryHeap<Reverse<(OrdLoss, usize, usize, u32, u32)>>;
+
+/// Total order on `f64` losses for the heap (NaN-free by construction).
+#[derive(PartialEq, PartialOrd)]
+struct OrdLoss(f64);
+impl Eq for OrdLoss {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdLoss {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other)
+            .expect("information loss is never NaN")
+    }
+}
+
+/// Runs AIB on the given singleton/summary clusters until `k` clusters
+/// remain (`k = 1` gives the full dendrogram).
+///
+/// Ties in `δI` are broken deterministically by (smaller slot, smaller
+/// slot) so results are reproducible across runs.
+///
+/// ```
+/// use dbmine_ib::{aib, Dcf};
+/// use dbmine_infotheory::SparseDist;
+/// // Two identical objects and one different: k = 2 pairs the twins.
+/// let objs = vec![
+///     Dcf::singleton(0.25, SparseDist::singleton(0)),
+///     Dcf::singleton(0.25, SparseDist::singleton(0)),
+///     Dcf::singleton(0.50, SparseDist::singleton(1)),
+/// ];
+/// let r = aib(objs, 2);
+/// assert_eq!(r.clusters.len(), 2);
+/// assert!(r.dendrogram.merges()[0].loss.abs() < 1e-12);
+/// ```
+pub fn aib(inputs: Vec<Dcf>, k: usize) -> AibResult {
+    let q = inputs.len();
+    let k = k.max(1);
+    let mut dendro = Dendrogram::new(q);
+    // slots[i]: current cluster in slot i (None once absorbed).
+    let mut slots: Vec<Option<Dcf>> = inputs.into_iter().map(Some).collect();
+    // node id (in the dendrogram) represented by each slot.
+    let mut node_of: Vec<usize> = (0..q).collect();
+    // generation counter: entries referencing an older generation are stale.
+    let mut gen: Vec<u32> = vec![0; q];
+
+    let initial_information = mutual_information_of(&slots);
+    let mut h_c = entropy(slots.iter().flatten().map(|c| c.weight));
+
+    if q == 0 || k >= q {
+        let (clusters, members): (Vec<Dcf>, Vec<Vec<usize>>) = slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (c, vec![i])))
+            .unzip();
+        return AibResult {
+            clusters,
+            members,
+            dendrogram: dendro,
+            initial_information,
+            stats: Vec::new(),
+        };
+    }
+
+    // Heap of candidate merges: Reverse((loss, i, j, gen_i, gen_j)).
+    let mut heap: MergeHeap = BinaryHeap::with_capacity(q * (q - 1) / 2);
+    for i in 0..q {
+        for j in (i + 1)..q {
+            let d = slots[i]
+                .as_ref()
+                .unwrap()
+                .distance(slots[j].as_ref().unwrap());
+            heap.push(Reverse((OrdLoss(d), i, j, 0, 0)));
+        }
+    }
+
+    let mut alive = q;
+    let mut members: Vec<Vec<usize>> = (0..q).map(|i| vec![i]).collect();
+    let mut stats = Vec::with_capacity(q - k);
+    let mut cum_loss = 0.0;
+
+    while alive > k {
+        let (loss, i, j) = loop {
+            let Reverse((OrdLoss(d), i, j, gi, gj)) = heap
+                .pop()
+                .expect("heap exhausted before reaching k clusters");
+            if gen[i] == gi && gen[j] == gj && slots[i].is_some() && slots[j].is_some() {
+                break (d, i, j);
+            }
+        };
+
+        // Merge slot j into slot i.
+        let cj = slots[j].take().expect("validated above");
+        let ci = slots[i].as_mut().expect("validated above");
+        let (wi, wj) = (ci.weight, cj.weight);
+        ci.merge_in_place(&cj);
+        let w_star = ci.weight;
+        gen[i] += 1;
+        gen[j] += 1;
+        alive -= 1;
+
+        let node = dendro.push(node_of[i], node_of[j], loss);
+        node_of[i] = node;
+        let absorbed = std::mem::take(&mut members[j]);
+        members[i].extend(absorbed);
+
+        // Incremental H(C): replace the two masses with the merged one.
+        h_c = h_c - xlogx_safe(wi) - xlogx_safe(wj) + xlogx_safe(w_star);
+
+        cum_loss += loss;
+        let mi = (initial_information - cum_loss).max(0.0);
+        stats.push(KStat {
+            k: alive,
+            cumulative_loss: cum_loss,
+            mutual_information: mi,
+            cluster_entropy: h_c,
+            conditional_entropy: (h_c - mi).max(0.0),
+        });
+
+        // New candidate distances from the merged slot.
+        if alive > k {
+            for other in 0..slots.len() {
+                if other == i || slots[other].is_none() {
+                    continue;
+                }
+                let d = slots[i]
+                    .as_ref()
+                    .unwrap()
+                    .distance(slots[other].as_ref().unwrap());
+                let (a, b) = (i.min(other), i.max(other));
+                heap.push(Reverse((OrdLoss(d), a, b, gen[a], gen[b])));
+            }
+        }
+    }
+
+    let (clusters, final_members): (Vec<Dcf>, Vec<Vec<usize>>) = slots
+        .into_iter()
+        .zip(members)
+        .filter_map(|(c, m)| c.map(|c| (c, m)))
+        .unzip();
+
+    AibResult {
+        clusters,
+        members: final_members,
+        dendrogram: dendro,
+        initial_information,
+        stats,
+    }
+}
+
+fn xlogx_safe(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        -(x * x.log2())
+    }
+}
+
+fn mutual_information_of(slots: &[Option<Dcf>]) -> f64 {
+    let rows: Vec<_> = slots
+        .iter()
+        .flatten()
+        .map(|c| (c.weight, &c.cond))
+        .collect();
+    dbmine_infotheory::mutual_information(rows.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmine_infotheory::SparseDist;
+
+    fn d(pairs: &[(u32, f64)]) -> SparseDist {
+        SparseDist::from_pairs(pairs.to_vec())
+    }
+
+    /// The paper's attribute-grouping example (matrix F of Figure 9,
+    /// normalized): A=[1,0], B=[0.4,0.6], C=[0,1], uniform priors.
+    fn figure9_inputs() -> Vec<Dcf> {
+        vec![
+            Dcf::singleton(1.0 / 3.0, d(&[(0, 1.0)])),
+            Dcf::singleton(1.0 / 3.0, d(&[(0, 0.4), (1, 0.6)])),
+            Dcf::singleton(1.0 / 3.0, d(&[(1, 1.0)])),
+        ]
+    }
+
+    #[test]
+    fn reproduces_figure10_dendrogram() {
+        let r = aib(figure9_inputs(), 1);
+        let merges = r.dendrogram.merges();
+        assert_eq!(merges.len(), 2);
+        // First merge: B (leaf 1) with C (leaf 2) at δI ≈ 0.1577.
+        assert_eq!(
+            (
+                merges[0].left.min(merges[0].right),
+                merges[0].left.max(merges[0].right)
+            ),
+            (1, 2)
+        );
+        assert!(
+            (merges[0].loss - 0.1577).abs() < 1e-3,
+            "loss {}",
+            merges[0].loss
+        );
+        // Second: A joins at δI ≈ 0.5155 ("approximately 0.52").
+        assert!(
+            (merges[1].loss - 0.5155).abs() < 1e-3,
+            "loss {}",
+            merges[1].loss
+        );
+        assert!((r.dendrogram.max_loss() - 0.5155).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_objects_merge_at_zero_loss() {
+        let inputs = vec![
+            Dcf::singleton(0.25, d(&[(0, 1.0)])),
+            Dcf::singleton(0.25, d(&[(0, 1.0)])),
+            Dcf::singleton(0.5, d(&[(1, 1.0)])),
+        ];
+        let r = aib(inputs, 2);
+        assert_eq!(r.clusters.len(), 2);
+        assert!(r.dendrogram.merges()[0].loss.abs() < 1e-12);
+        // The two identical objects are the merged pair.
+        let merged = r.members.iter().find(|m| m.len() == 2).unwrap();
+        assert_eq!(*merged, vec![0, 1]);
+    }
+
+    #[test]
+    fn information_is_monotone_decreasing() {
+        let inputs: Vec<Dcf> = (0..6u32)
+            .map(|i| Dcf::singleton(1.0 / 6.0, d(&[(i % 3, 0.7), ((i + 1) % 3, 0.3)])))
+            .collect();
+        let r = aib(inputs, 1);
+        let mut prev = r.initial_information;
+        for s in &r.stats {
+            assert!(s.mutual_information <= prev + 1e-9);
+            prev = s.mutual_information;
+        }
+        // Full merge: I(C_1;T) = 0 (single cluster carries no information).
+        assert!(r.final_information().abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_report_cluster_entropy() {
+        let r = aib(figure9_inputs(), 1);
+        // After first merge: masses {1/3, 2/3} → H ≈ 0.918 bits.
+        assert!((r.stats[0].cluster_entropy - 0.9183).abs() < 1e-3);
+        // After full merge: single cluster → H = 0.
+        assert!(r.stats[1].cluster_entropy.abs() < 1e-9);
+        assert_eq!(r.stats[0].k, 2);
+        assert_eq!(r.stats[1].k, 1);
+    }
+
+    #[test]
+    fn k_equal_q_is_identity() {
+        let inputs = figure9_inputs();
+        let r = aib(inputs.clone(), 3);
+        assert_eq!(r.clusters.len(), 3);
+        assert!(r.dendrogram.merges().is_empty());
+        assert!(r.stats.is_empty());
+        assert_eq!(r.members, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn k_greater_than_q_is_identity() {
+        let r = aib(figure9_inputs(), 10);
+        assert_eq!(r.clusters.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = aib(Vec::new(), 1);
+        assert!(r.clusters.is_empty());
+        assert_eq!(r.initial_information, 0.0);
+    }
+
+    #[test]
+    fn single_input() {
+        let r = aib(vec![Dcf::singleton(1.0, d(&[(0, 1.0)]))], 1);
+        assert_eq!(r.clusters.len(), 1);
+        assert!(r.dendrogram.merges().is_empty());
+    }
+
+    #[test]
+    fn merged_masses_sum_to_one() {
+        let r = aib(figure9_inputs(), 1);
+        assert!((r.clusters[0].weight - 1.0).abs() < 1e-9);
+        assert_eq!(r.clusters[0].count, 3);
+        assert_eq!(r.members[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn relative_loss_bounds() {
+        let r = aib(figure9_inputs(), 2);
+        let rl = r.relative_loss();
+        assert!((0.0..=1.0).contains(&rl));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Four mutually equidistant objects: tie-breaking must be stable.
+        let inputs: Vec<Dcf> = (0..4u32)
+            .map(|i| Dcf::singleton(0.25, d(&[(i, 1.0)])))
+            .collect();
+        let a = aib(inputs.clone(), 1);
+        let b = aib(inputs, 1);
+        let ma: Vec<_> = a
+            .dendrogram
+            .merges()
+            .iter()
+            .map(|m| (m.left, m.right))
+            .collect();
+        let mb: Vec<_> = b
+            .dendrogram
+            .merges()
+            .iter()
+            .map(|m| (m.left, m.right))
+            .collect();
+        assert_eq!(ma, mb);
+    }
+}

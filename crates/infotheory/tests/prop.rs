@@ -1,0 +1,98 @@
+//! Property-based tests for the information-theory kernel.
+
+use dbmine_infotheory::{
+    entropy_of, js_divergence, kl_divergence, merge_information_loss, mutual_information,
+    uniform_entropy, SparseDist,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random normalized sparse distribution over indices `0..32`.
+fn arb_dist() -> impl Strategy<Value = SparseDist> {
+    proptest::collection::vec((0u32..32, 0.01f64..1.0), 1..12).prop_map(|pairs| {
+        let mut d = SparseDist::from_pairs(pairs);
+        d.normalize();
+        d
+    })
+}
+
+proptest! {
+    #[test]
+    fn entropy_is_nonnegative_and_bounded(d in arb_dist()) {
+        let h = entropy_of(&d);
+        prop_assert!(h >= -1e-9);
+        prop_assert!(h <= uniform_entropy(d.support()) + 1e-9);
+    }
+
+    #[test]
+    fn kl_is_nonnegative(p in arb_dist(), q in arb_dist()) {
+        prop_assert!(kl_divergence(&p, &q) >= 0.0);
+    }
+
+    #[test]
+    fn kl_self_is_zero(p in arb_dist()) {
+        prop_assert!(kl_divergence(&p, &p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn js_is_symmetric_bounded_metriclike(
+        p in arb_dist(), q in arb_dist(), w in 0.05f64..0.95
+    ) {
+        let a = js_divergence(&p, w, &q, 1.0 - w);
+        let b = js_divergence(&q, 1.0 - w, &p, w);
+        prop_assert!((a - b).abs() < 1e-9, "asymmetric: {a} vs {b}");
+        // The paper: "The D_JS distance ... is bounded above by one."
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a));
+    }
+
+    #[test]
+    fn js_zero_iff_equal(p in arb_dist()) {
+        prop_assert!(js_divergence(&p, 0.4, &p, 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_loss_nonnegative_and_symmetric(
+        p in arb_dist(), q in arb_dist(),
+        wp in 0.01f64..1.0, wq in 0.01f64..1.0
+    ) {
+        let a = merge_information_loss(wp, &p, wq, &q);
+        let b = merge_information_loss(wq, &q, wp, &p);
+        prop_assert!(a >= 0.0);
+        prop_assert!((a - b).abs() < 1e-9);
+        // δI ≤ (p(ci)+p(cj)) · 1 bit, since JS ≤ 1.
+        prop_assert!(a <= wp + wq + 1e-9);
+    }
+
+    /// Merging two clusters never *increases* the mutual information a
+    /// clustering carries: I(C_{l-1};T) ≤ I(C_l;T), and the drop equals δI.
+    #[test]
+    fn merge_loss_equals_mi_drop(
+        p in arb_dist(), q in arb_dist(), r in arb_dist(),
+        w in 0.1f64..0.8
+    ) {
+        // Three-cluster clustering with masses w/2, w/2, 1-w.
+        let rows = [(w / 2.0, p.clone()), (w / 2.0, q.clone()), (1.0 - w, r.clone())];
+        let i_before = mutual_information(rows.iter().map(|(a, b)| (*a, b)));
+
+        let merged = SparseDist::weighted_sum(&p, 0.5, &q, 0.5);
+        let rows2 = [(w, merged), (1.0 - w, r)];
+        let i_after = mutual_information(rows2.iter().map(|(a, b)| (*a, b)));
+
+        let delta = merge_information_loss(w / 2.0, &p, w / 2.0, &q);
+        prop_assert!(i_after <= i_before + 1e-9);
+        prop_assert!(((i_before - i_after) - delta).abs() < 1e-7,
+            "ΔI = {} but δI = {delta}", i_before - i_after);
+    }
+
+    #[test]
+    fn weighted_sum_preserves_mass(p in arb_dist(), q in arb_dist(), w in 0.0f64..1.0) {
+        let m = SparseDist::weighted_sum(&p, w, &q, 1.0 - w);
+        prop_assert!((m.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_pairs_total_invariant(pairs in proptest::collection::vec((0u32..16, 0.0f64..2.0), 0..20)) {
+        let expect: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        let d = SparseDist::from_pairs(pairs);
+        prop_assert!((d.total() - expect).abs() < 1e-9);
+    }
+}

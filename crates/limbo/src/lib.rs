@@ -1,0 +1,31 @@
+//! LIMBO — scaLable InforMation BOttleneck clustering (Section 5.2).
+//!
+//! AIB is quadratic in the number of objects, so the paper clusters large
+//! data sets with LIMBO: a BIRCH-style, three-phase algorithm that keeps
+//! only *Distributional Cluster Features* in memory.
+//!
+//! 1. **Phase 1** — stream the objects into a [`DcfTree`]; leaf DCFs
+//!    whose merge would lose at most `φ · I(V;T)/|V|` bits are merged on
+//!    insertion, so the leaves form a compact summary of the data whose
+//!    accuracy is controlled by `φ` (with `φ = 0` only identical objects
+//!    merge and LIMBO degenerates to AIB).
+//! 2. **Phase 2** — run AIB over the (much fewer) leaf DCFs to the
+//!    desired number of clusters `k`.
+//! 3. **Phase 3** — re-scan the objects and associate each with its
+//!    closest representative by information loss.
+//!
+//! The [`input`] module turns a relation into the DCF streams of the
+//! paper's three clustering tasks (tuples, attribute values with the
+//! ADCF `O` extension, attributes over duplicate value groups), and
+//! [`double`] implements Double Clustering — re-expressing values over
+//! tuple *clusters* to scale value clustering.
+
+pub mod double;
+pub mod input;
+pub mod pipeline;
+pub mod tree;
+
+pub use double::reexpress_over_clusters;
+pub use input::{attribute_dcfs, tuple_dcfs, value_dcfs};
+pub use pipeline::{phase1, phase2, phase3, run, Limbo, LimboModel, LimboParams};
+pub use tree::DcfTree;

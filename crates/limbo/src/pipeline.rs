@@ -1,0 +1,250 @@
+//! The three-phase LIMBO pipeline.
+
+use crate::tree::DcfTree;
+use dbmine_ib::{aib, assign_all, AibResult, Dcf};
+
+/// LIMBO tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LimboParams {
+    /// Summary accuracy `φ ≥ 0`: the Phase 1 merge threshold is
+    /// `φ · I(V;T) / |V|`. `φ = 0` merges only identical objects
+    /// (LIMBO ≡ AIB); larger values give coarser, smaller trees.
+    pub phi: f64,
+    /// DCF-tree branching factor `B`. The paper observed `B` barely
+    /// affects quality and uses `B = 4`.
+    pub branching: usize,
+}
+
+impl Default for LimboParams {
+    fn default() -> Self {
+        LimboParams {
+            phi: 0.0,
+            branching: 4,
+        }
+    }
+}
+
+impl LimboParams {
+    /// Parameters with the given `φ` and the paper's default `B = 4`.
+    pub fn with_phi(phi: f64) -> Self {
+        LimboParams {
+            phi,
+            ..Default::default()
+        }
+    }
+}
+
+/// The Phase 1 output: the summary produced by streaming all objects
+/// through the DCF-tree.
+#[derive(Clone, Debug)]
+pub struct LimboModel {
+    /// Leaf-level summary DCFs, left to right.
+    pub leaves: Vec<Dcf>,
+    /// The merge threshold `τ` that was applied.
+    pub threshold: f64,
+    /// The mutual information `I(V;T)` of the input (used to set `τ`).
+    pub mutual_information: f64,
+    /// Number of objects inserted.
+    pub n_objects: usize,
+}
+
+impl LimboModel {
+    /// The compression achieved by Phase 1: leaves per object.
+    pub fn summary_ratio(&self) -> f64 {
+        if self.n_objects == 0 {
+            1.0
+        } else {
+            self.leaves.len() as f64 / self.n_objects as f64
+        }
+    }
+}
+
+/// The full LIMBO run: Phase 1 summary, Phase 2 clustering, Phase 3
+/// assignments.
+#[derive(Clone, Debug)]
+pub struct Limbo {
+    /// Phase 1 output.
+    pub model: LimboModel,
+    /// Phase 2 output: AIB over the leaves.
+    pub clustering: AibResult,
+    /// Phase 3 output: for each original object, the index of its
+    /// representative in `clustering.clusters` and the assignment loss.
+    pub assignments: Vec<(usize, f64)>,
+}
+
+impl Limbo {
+    /// Member object indices per final cluster.
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.clustering.clusters.len()];
+        for (obj, &(c, _)) in self.assignments.iter().enumerate() {
+            out[c].push(obj);
+        }
+        out
+    }
+
+    /// The information lost by the Phase 3 assignment, relative to the
+    /// input information (the paper reports e.g. *"the loss of initial
+    /// information after Phase 3 was 9.45%"*).
+    pub fn assignment_relative_loss(&self) -> f64 {
+        let total: f64 = self.assignments.iter().map(|&(_, l)| l).sum();
+        if self.model.mutual_information <= 0.0 {
+            0.0
+        } else {
+            total / self.model.mutual_information
+        }
+    }
+}
+
+/// Phase 1: streams `objects` into a DCF-tree with threshold
+/// `φ · mutual_information / n_objects` and returns the leaf summary.
+///
+/// `mutual_information` is `I(V;T)` of the input view — callers obtain it
+/// from `TupleRows::mutual_information` / `ValueIndex::mutual_information`
+/// (it only gates the merge threshold, so any consistent estimate works).
+pub fn phase1(
+    objects: impl IntoIterator<Item = Dcf>,
+    mutual_information: f64,
+    n_objects: usize,
+    params: LimboParams,
+) -> LimboModel {
+    let threshold = if n_objects == 0 {
+        0.0
+    } else {
+        params.phi * mutual_information / n_objects as f64
+    };
+    let mut tree = DcfTree::new(params.branching, threshold);
+    let mut inserted = 0usize;
+    for dcf in objects {
+        tree.insert(dcf);
+        inserted += 1;
+    }
+    debug_assert_eq!(
+        inserted, n_objects,
+        "n_objects must match the stream length"
+    );
+    LimboModel {
+        leaves: tree.leaves(),
+        threshold,
+        mutual_information,
+        n_objects: inserted,
+    }
+}
+
+/// Phase 2: AIB over the Phase 1 leaves down to `k` clusters.
+pub fn phase2(model: &LimboModel, k: usize) -> AibResult {
+    aib(model.leaves.clone(), k)
+}
+
+/// Phase 3: assigns each original object to its closest representative.
+pub fn phase3<'a>(
+    objects: impl IntoIterator<Item = &'a Dcf>,
+    clustering: &AibResult,
+) -> Vec<(usize, f64)> {
+    assign_all(objects, &clustering.clusters)
+}
+
+/// Runs all three phases over an in-memory object list.
+///
+/// ```
+/// use dbmine_limbo::{run, tuple_dcfs, LimboParams};
+/// use dbmine_relation::TupleRows;
+/// let rel = dbmine_relation::paper::figure4();
+/// let objects = tuple_dcfs(&rel);
+/// let mi = TupleRows::build(&rel).mutual_information();
+/// let l = run(&objects, mi, 2, LimboParams::with_phi(0.0));
+/// assert_eq!(l.assignments.len(), 5);   // every tuple assigned
+/// assert_eq!(l.clustering.clusters.len(), 2);
+/// ```
+pub fn run(objects: &[Dcf], mutual_information: f64, k: usize, params: LimboParams) -> Limbo {
+    let model = phase1(
+        objects.iter().cloned(),
+        mutual_information,
+        objects.len(),
+        params,
+    );
+    let clustering = phase2(&model, k);
+    let assignments = phase3(objects.iter(), &clustering);
+    Limbo {
+        model,
+        clustering,
+        assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::tuple_dcfs;
+    use dbmine_ib::aib;
+    use dbmine_relation::paper::figure4;
+    use dbmine_relation::TupleRows;
+
+    #[test]
+    fn phi_zero_equals_aib() {
+        // "For instance using φ = 0.0, we only merge identical objects and
+        //  LIMBO becomes equivalent to AIB."
+        let rel = figure4();
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+        let l = run(&objects, mi, 2, LimboParams::with_phi(0.0));
+        let direct = aib(objects.clone(), 2);
+        assert_eq!(l.model.leaves.len(), 5);
+        // Same final information retained.
+        assert!((l.clustering.final_information() - direct.final_information()).abs() < 1e-9);
+        // t3,t4,t5 (sharing 2 and x) end up together; t1,t2 together.
+        let members = l.cluster_members();
+        let mut sizes: Vec<usize> = members.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn larger_phi_smaller_summary() {
+        let rel = figure4();
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+        let m0 = phase1(
+            objects.iter().cloned(),
+            mi,
+            objects.len(),
+            LimboParams::with_phi(0.0),
+        );
+        let m5 = phase1(
+            objects.iter().cloned(),
+            mi,
+            objects.len(),
+            LimboParams::with_phi(5.0),
+        );
+        assert!(m5.leaves.len() <= m0.leaves.len());
+        assert!(m5.summary_ratio() <= m0.summary_ratio());
+    }
+
+    #[test]
+    fn every_object_assigned() {
+        let rel = figure4();
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+        let l = run(&objects, mi, 2, LimboParams::default());
+        assert_eq!(l.assignments.len(), 5);
+        let members = l.cluster_members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        assert!(l.assignment_relative_loss() >= 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let model = phase1(std::iter::empty(), 0.0, 0, LimboParams::default());
+        assert!(model.leaves.is_empty());
+        assert_eq!(model.summary_ratio(), 1.0);
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let rel = figure4();
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+        let m = phase1(objects.iter().cloned(), mi, 5, LimboParams::with_phi(0.3));
+        assert!((m.threshold - 0.3 * mi / 5.0).abs() < 1e-12);
+    }
+}

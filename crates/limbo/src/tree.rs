@@ -1,0 +1,377 @@
+//! The DCF-tree of LIMBO Phase 1.
+//!
+//! A height-balanced B-tree-like structure whose leaf entries are DCFs
+//! summarizing groups of inserted objects and whose non-leaf entries are
+//! DCFs *"produced by merging the DCFs of its children"*. Insertion
+//! descends along the closest-entry path (distance = merge information
+//! loss); at the leaf, the object either merges into the closest entry —
+//! if the loss does not exceed the threshold `τ = φ·I(V;T)/|V|` — or
+//! starts a new entry, splitting overflowing nodes on the way back up.
+
+use dbmine_ib::Dcf;
+
+/// An entry of a tree node: a cluster summary, plus (for internal nodes)
+/// the child holding its constituents.
+#[derive(Clone, Debug)]
+struct Entry {
+    dcf: Dcf,
+    /// Index into `DcfTree::nodes`; `usize::MAX` for leaf entries.
+    child: usize,
+}
+
+const NO_CHILD: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    entries: Vec<Entry>,
+    leaf: bool,
+}
+
+/// The DCF-tree: streaming summarization of objects under an
+/// information-loss merge threshold.
+#[derive(Clone, Debug)]
+pub struct DcfTree {
+    nodes: Vec<Node>,
+    root: usize,
+    branching: usize,
+    threshold: f64,
+    n_inserted: usize,
+}
+
+impl DcfTree {
+    /// A new tree with the given branching factor `B ≥ 2` and merge
+    /// threshold `τ` (in bits of information loss).
+    pub fn new(branching: usize, threshold: f64) -> Self {
+        assert!(branching >= 2, "branching factor must be at least 2");
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        DcfTree {
+            nodes: vec![Node {
+                entries: Vec::new(),
+                leaf: true,
+            }],
+            root: 0,
+            branching,
+            threshold,
+            n_inserted: 0,
+        }
+    }
+
+    /// The merge threshold `τ`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of objects inserted so far.
+    pub fn n_inserted(&self) -> usize {
+        self.n_inserted
+    }
+
+    /// Inserts one object summary (normally a singleton DCF).
+    pub fn insert(&mut self, dcf: Dcf) {
+        self.n_inserted += 1;
+        if let Some((e1, e2)) = self.insert_rec(self.root, dcf) {
+            // Root split: grow a new root.
+            let new_root = self.nodes.len();
+            self.nodes.push(Node {
+                entries: vec![e1, e2],
+                leaf: false,
+            });
+            self.root = new_root;
+        }
+    }
+
+    /// Recursive insertion; returns the replacement pair if `node` split.
+    fn insert_rec(&mut self, node: usize, dcf: Dcf) -> Option<(Entry, Entry)> {
+        if self.nodes[node].leaf {
+            return self.insert_into_leaf(node, dcf);
+        }
+        // Descend into the closest child entry.
+        let idx = self
+            .closest_entry(node, &dcf)
+            .expect("internal nodes are never empty");
+        let child = self.nodes[node].entries[idx].child;
+        match self.insert_rec(child, dcf.clone()) {
+            None => {
+                // Child absorbed the object: refresh the summary on the path.
+                self.nodes[node].entries[idx].dcf.merge_in_place(&dcf);
+                None
+            }
+            Some((e1, e2)) => {
+                let entries = &mut self.nodes[node].entries;
+                entries.swap_remove(idx);
+                entries.push(e1);
+                entries.push(e2);
+                if entries.len() > self.branching {
+                    Some(self.split(node))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn insert_into_leaf(&mut self, node: usize, dcf: Dcf) -> Option<(Entry, Entry)> {
+        if let Some(idx) = self.closest_entry(node, &dcf) {
+            let d = self.nodes[node].entries[idx].dcf.distance(&dcf);
+            if d <= self.threshold {
+                self.nodes[node].entries[idx].dcf.merge_in_place(&dcf);
+                return None;
+            }
+        }
+        self.nodes[node].entries.push(Entry {
+            dcf,
+            child: NO_CHILD,
+        });
+        if self.nodes[node].entries.len() > self.branching {
+            Some(self.split(node))
+        } else {
+            None
+        }
+    }
+
+    /// The entry of `node` closest to `dcf` by information loss
+    /// (ties to the lower index).
+    fn closest_entry(&self, node: usize, dcf: &Dcf) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.nodes[node].entries.iter().enumerate() {
+            let d = e.dcf.distance(dcf);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Splits an overflowing node in two, seeding with the farthest entry
+    /// pair and redistributing the rest by proximity. Returns the two
+    /// summary entries for the parent.
+    fn split(&mut self, node: usize) -> (Entry, Entry) {
+        let leaf = self.nodes[node].leaf;
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        debug_assert!(entries.len() >= 2);
+
+        // Farthest pair as seeds.
+        let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                let d = entries[i].dcf.distance(&entries[j].dcf);
+                if d > worst {
+                    worst = d;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+
+        let mut left: Vec<Entry> = Vec::with_capacity(entries.len());
+        let mut right: Vec<Entry> = Vec::with_capacity(entries.len());
+        let mut rest: Vec<Entry> = Vec::with_capacity(entries.len());
+        for (i, e) in entries.into_iter().enumerate() {
+            if i == s1 {
+                left.push(e);
+            } else if i == s2 {
+                right.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        for e in rest {
+            let dl = left[0].dcf.distance(&e.dcf);
+            let dr = right[0].dcf.distance(&e.dcf);
+            if dl <= dr {
+                left.push(e);
+            } else {
+                right.push(e);
+            }
+        }
+
+        let summarize = |es: &[Entry]| {
+            let mut it = es.iter();
+            let mut s = it.next().expect("split halves are non-empty").dcf.clone();
+            for e in it {
+                s.merge_in_place(&e.dcf);
+            }
+            s
+        };
+        let left_summary = summarize(&left);
+        let right_summary = summarize(&right);
+
+        // Reuse `node` for the left half; allocate the right half.
+        self.nodes[node] = Node {
+            entries: left,
+            leaf,
+        };
+        let right_id = self.nodes.len();
+        self.nodes.push(Node {
+            entries: right,
+            leaf,
+        });
+        (
+            Entry {
+                dcf: left_summary,
+                child: node,
+            },
+            Entry {
+                dcf: right_summary,
+                child: right_id,
+            },
+        )
+    }
+
+    /// The leaf-level DCFs, left to right. These are the summaries Phase 2
+    /// clusters with AIB.
+    pub fn leaves(&self) -> Vec<Dcf> {
+        let mut out = Vec::new();
+        self.collect_leaves(self.root, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, node: usize, out: &mut Vec<Dcf>) {
+        let n = &self.nodes[node];
+        if n.leaf {
+            out.extend(n.entries.iter().map(|e| e.dcf.clone()));
+        } else {
+            for e in &n.entries {
+                self.collect_leaves(e.child, out);
+            }
+        }
+    }
+
+    /// Number of leaf entries (the size of Phase 2's input).
+    pub fn n_leaf_entries(&self) -> usize {
+        self.count_leaves(self.root)
+    }
+
+    fn count_leaves(&self, node: usize) -> usize {
+        let n = &self.nodes[node];
+        if n.leaf {
+            n.entries.len()
+        } else {
+            n.entries.iter().map(|e| self.count_leaves(e.child)).sum()
+        }
+    }
+
+    /// Height of the tree (1 for a single leaf node).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        while !self.nodes[node].leaf {
+            h += 1;
+            node = self.nodes[node].entries[0].child;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmine_infotheory::SparseDist;
+
+    fn singleton(w: f64, pairs: &[(u32, f64)]) -> Dcf {
+        Dcf::singleton(w, SparseDist::from_pairs(pairs.to_vec()))
+    }
+
+    #[test]
+    fn zero_threshold_merges_only_identical() {
+        let mut t = DcfTree::new(4, 0.0);
+        t.insert(singleton(0.25, &[(0, 1.0)]));
+        t.insert(singleton(0.25, &[(0, 1.0)])); // identical → merged
+        t.insert(singleton(0.25, &[(1, 1.0)]));
+        t.insert(singleton(0.25, &[(1, 0.5), (2, 0.5)]));
+        assert_eq!(t.n_leaf_entries(), 3);
+        assert_eq!(t.n_inserted(), 4);
+        let merged = t
+            .leaves()
+            .into_iter()
+            .find(|d| d.count == 2)
+            .expect("identical pair merged");
+        assert!((merged.weight - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_threshold_merges_everything() {
+        let mut t = DcfTree::new(4, 10.0);
+        for i in 0..50u32 {
+            t.insert(singleton(0.02, &[(i, 1.0)]));
+        }
+        assert_eq!(t.n_leaf_entries(), 1);
+        let l = t.leaves();
+        assert!((l[0].weight - 1.0).abs() < 1e-9);
+        assert_eq!(l[0].count, 50);
+    }
+
+    #[test]
+    fn splits_keep_all_mass_and_counts() {
+        let mut t = DcfTree::new(2, 0.0);
+        let n = 40u32;
+        for i in 0..n {
+            t.insert(singleton(1.0 / n as f64, &[(i, 1.0)]));
+        }
+        assert_eq!(t.n_leaf_entries(), n as usize);
+        let total: f64 = t.leaves().iter().map(|d| d.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let count: usize = t.leaves().iter().map(|d| d.count).sum();
+        assert_eq!(count, n as usize);
+        assert!(t.height() > 1, "tree must have split with B = 2");
+    }
+
+    #[test]
+    fn similar_objects_share_leaves() {
+        // Two tight groups; τ large enough to absorb within-group noise
+        // but far below the between-group loss.
+        let mut t = DcfTree::new(4, 0.02);
+        for _ in 0..10 {
+            t.insert(singleton(0.05, &[(0, 0.95), (1, 0.05)]));
+            t.insert(singleton(0.05, &[(5, 0.95), (6, 0.05)]));
+        }
+        assert_eq!(t.n_leaf_entries(), 2);
+        let leaves = t.leaves();
+        assert!(leaves.iter().all(|d| d.count == 10));
+    }
+
+    #[test]
+    fn aux_vectors_survive_tree_merges() {
+        let mut t = DcfTree::new(4, 10.0);
+        t.insert(Dcf::singleton_with_aux(
+            0.5,
+            SparseDist::from_pairs(vec![(0, 1.0)]),
+            SparseDist::from_pairs(vec![(0, 2.0)]),
+        ));
+        t.insert(Dcf::singleton_with_aux(
+            0.5,
+            SparseDist::from_pairs(vec![(0, 1.0)]),
+            SparseDist::from_pairs(vec![(1, 3.0)]),
+        ));
+        let l = t.leaves();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].aux.get(0), 2.0);
+        assert_eq!(l[0].aux.get(1), 3.0);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = DcfTree::new(3, 0.0);
+        for i in 0..200u32 {
+            t.insert(singleton(0.005, &[(i, 1.0)]));
+        }
+        assert_eq!(t.n_leaf_entries(), 200);
+        // With B = 3 the height of a 200-leaf tree stays small.
+        assert!(t.height() <= 12, "height {} too large", t.height());
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor")]
+    fn branching_of_one_rejected() {
+        let _ = DcfTree::new(1, 0.0);
+    }
+
+    #[test]
+    fn empty_tree_has_no_leaves() {
+        let t = DcfTree::new(4, 0.0);
+        assert_eq!(t.n_leaf_entries(), 0);
+        assert!(t.leaves().is_empty());
+        assert_eq!(t.height(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for LIMBO: Phase 1 must conserve mass, counts and
+//! auxiliary vectors for arbitrary inputs, and must never retain more
+//! information than the input carries.
+
+use dbmine_ib::{aib, Dcf};
+use dbmine_infotheory::{mutual_information, SparseDist};
+use dbmine_limbo::{phase1, phase2, phase3, LimboParams};
+use proptest::prelude::*;
+
+/// Random singleton DCFs over a small domain, with equal masses.
+fn arb_objects() -> impl Strategy<Value = Vec<Dcf>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..16, 0.05f64..1.0), 1..5),
+        2..40,
+    )
+    .prop_map(|rows| {
+        let n = rows.len() as f64;
+        rows.into_iter()
+            .map(|pairs| {
+                let mut cond = SparseDist::from_pairs(pairs.clone());
+                cond.normalize();
+                let aux =
+                    SparseDist::from_pairs(pairs.iter().map(|&(i, _)| (i % 4, 1.0)).collect());
+                Dcf::singleton_with_aux(1.0 / n, cond, aux)
+            })
+            .collect()
+    })
+}
+
+fn info_of(dcfs: &[Dcf]) -> f64 {
+    let rows: Vec<_> = dcfs.iter().map(|d| (d.weight, &d.cond)).collect();
+    mutual_information(rows.iter().copied())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn phase1_conserves_mass_count_and_aux(objects in arb_objects(), phi in 0.0f64..2.0) {
+        let mi = info_of(&objects);
+        let model = phase1(objects.iter().cloned(), mi, objects.len(), LimboParams::with_phi(phi));
+
+        let mass: f64 = model.leaves.iter().map(|d| d.weight).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+
+        let count: usize = model.leaves.iter().map(|d| d.count).sum();
+        prop_assert_eq!(count, objects.len());
+
+        let aux_total: f64 = model.leaves.iter().map(|d| d.aux.total()).sum();
+        let expected: f64 = objects.iter().map(|d| d.aux.total()).sum();
+        prop_assert!((aux_total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summaries_never_gain_information(objects in arb_objects(), phi in 0.0f64..2.0) {
+        let mi = info_of(&objects);
+        let model = phase1(objects.iter().cloned(), mi, objects.len(), LimboParams::with_phi(phi));
+        let retained = info_of(&model.leaves);
+        prop_assert!(retained <= mi + 1e-7, "retained {retained} > input {mi}");
+    }
+
+    #[test]
+    fn phi_zero_summarization_is_lossless(objects in arb_objects()) {
+        // "Using φ = 0.0, we only merge identical objects and LIMBO
+        // becomes equivalent to AIB": Phase 1 must lose NO information —
+        // its leaves carry exactly the input's mutual information (the
+        // greedy Phase 2 may then take a different — equally valid —
+        // merge trajectory than AIB-on-singletons under ties).
+        let mi = info_of(&objects);
+        let model = phase1(objects.iter().cloned(), mi, objects.len(), LimboParams::with_phi(0.0));
+        let retained = info_of(&model.leaves);
+        prop_assert!((retained - mi).abs() < 1e-7, "lost {} bits", mi - retained);
+        // And a full Phase 2 run loses everything, exactly like AIB.
+        let full = phase2(&model, 1);
+        let direct = aib(objects.clone(), 1);
+        prop_assert!((full.final_information() - direct.final_information()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn phase3_assigns_every_object_within_bounds(objects in arb_objects(), phi in 0.0f64..1.5) {
+        let mi = info_of(&objects);
+        let model = phase1(objects.iter().cloned(), mi, objects.len(), LimboParams::with_phi(phi));
+        let clustering = phase2(&model, 3.min(model.leaves.len()));
+        let assignments = phase3(objects.iter(), &clustering);
+        prop_assert_eq!(assignments.len(), objects.len());
+        for &(c, loss) in &assignments {
+            prop_assert!(c < clustering.clusters.len());
+            prop_assert!(loss >= 0.0);
+            // δI of merging an object into any cluster ≤ their joint mass.
+            prop_assert!(loss <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn leaf_count_monotone_in_phi(objects in arb_objects()) {
+        let mi = info_of(&objects);
+        let mut prev = usize::MAX;
+        for phi in [0.0, 0.5, 1.0, 2.0] {
+            let model = phase1(objects.iter().cloned(), mi, objects.len(), LimboParams::with_phi(phi));
+            prop_assert!(model.leaves.len() <= prev,
+                "φ={phi}: {} leaves > previous {prev}", model.leaves.len());
+            prev = model.leaves.len();
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Compact sets of attribute ids.
+//!
+//! Relations in this workspace have at most 64 attributes (the paper's
+//! largest has 19), so an attribute set is a single `u64` bitmask. These
+//! sets are the currency of FD mining (LHS/RHS of dependencies, agree
+//! sets) and of FD-RANK (merge participants).
+
+use std::fmt;
+
+/// Maximum number of attributes supported by [`AttrSet`].
+pub const MAX_ATTRS: usize = 64;
+
+/// A set of attribute ids `0..64`, stored as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// The set `{attr}`.
+    pub fn single(attr: usize) -> Self {
+        debug_assert!(attr < MAX_ATTRS);
+        AttrSet(1u64 << attr)
+    }
+
+    /// The full set `{0, …, m-1}`.
+    pub fn full(m: usize) -> Self {
+        assert!(m <= MAX_ATTRS, "at most {MAX_ATTRS} attributes supported");
+        if m == MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << m) - 1)
+        }
+    }
+
+    /// Raw bitmask accessor (useful as a dense map key).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds from a raw bitmask.
+    pub fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// True if the set contains `attr`.
+    pub fn contains(self, attr: usize) -> bool {
+        debug_assert!(attr < MAX_ATTRS);
+        self.0 & (1u64 << attr) != 0
+    }
+
+    /// Inserts `attr`, returning the extended set.
+    #[must_use]
+    pub fn with(self, attr: usize) -> Self {
+        debug_assert!(attr < MAX_ATTRS);
+        AttrSet(self.0 | (1u64 << attr))
+    }
+
+    /// Removes `attr`, returning the reduced set.
+    #[must_use]
+    pub fn without(self, attr: usize) -> Self {
+        debug_assert!(attr < MAX_ATTRS);
+        AttrSet(self.0 & !(1u64 << attr))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: Self) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn minus(self, other: Self) -> Self {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if `self ⊂ other` (strict).
+    pub fn is_proper_subset_of(self, other: Self) -> bool {
+        self.is_subset_of(other) && self != other
+    }
+
+    /// True if the sets share no attribute.
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the member attribute ids in increasing order.
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+
+    /// Renders as `{A, C}` given the attribute names.
+    pub fn display(self, names: &[String]) -> String {
+        let mut s = String::from("[");
+        for (k, a) in self.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(names.get(a).map(String::as_str).unwrap_or("?"));
+        }
+        s.push(']');
+        s
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        iter.into_iter().fold(AttrSet::EMPTY, |acc, a| acc.with(a))
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the members of an [`AttrSet`].
+pub struct AttrSetIter(u64);
+
+impl Iterator for AttrSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let a = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(a)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(AttrSet::EMPTY.is_empty());
+        let s = AttrSet::single(3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_set() {
+        let s = AttrSet::full(5);
+        assert_eq!(s.len(), 5);
+        assert!((0..5).all(|a| s.contains(a)));
+        assert!(!s.contains(5));
+        assert_eq!(AttrSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let s = AttrSet::EMPTY.with(2).with(7).without(2);
+        assert_eq!(s, AttrSet::single(7));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: AttrSet = [0, 1, 2].into_iter().collect();
+        let b: AttrSet = [2, 3].into_iter().collect();
+        assert_eq!(a.union(b), [0, 1, 2, 3].into_iter().collect());
+        assert_eq!(a.intersect(b), AttrSet::single(2));
+        assert_eq!(a.minus(b), [0, 1].into_iter().collect());
+        assert!(AttrSet::single(2).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.is_proper_subset_of(a.with(5)));
+        assert!(!a.is_proper_subset_of(a));
+        assert!(a.is_disjoint(AttrSet::single(9)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: AttrSet = [9, 1, 4].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        let names = vec!["A".to_string(), "B".to_string(), "C".to_string()];
+        let s: AttrSet = [0, 2].into_iter().collect();
+        assert_eq!(s.display(&names), "[A,C]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_over_64_panics() {
+        let _ = AttrSet::full(65);
+    }
+}

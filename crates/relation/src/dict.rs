@@ -1,0 +1,130 @@
+//! Global value dictionary.
+//!
+//! The paper's value universe is `V = V1 ∪ … ∪ Vm` — a *union* over the
+//! attribute domains. Identical strings appearing in different attributes
+//! are therefore the **same** value, which is what allows value clustering
+//! and attribute grouping to see cross-attribute duplication (most notably
+//! the `NULL` value shared by the sparsely-populated DBLP attributes).
+//!
+//! `NULL`/missing cells intern to the reserved id [`NULL_VALUE`] (0).
+
+use std::collections::HashMap;
+
+/// Identifier of an interned value. Dense, starting at 0 ([`NULL_VALUE`]).
+pub type ValueId = u32;
+
+/// The reserved id of the NULL/missing value.
+pub const NULL_VALUE: ValueId = 0;
+
+/// How NULL values render in output.
+pub const NULL_DISPLAY: &str = "NULL";
+
+/// Interns value strings to dense [`ValueId`]s, globally across attributes.
+#[derive(Clone, Debug, Default)]
+pub struct ValueDict {
+    map: HashMap<String, ValueId>,
+    strings: Vec<String>,
+}
+
+impl ValueDict {
+    /// A fresh dictionary containing only the NULL value.
+    pub fn new() -> Self {
+        ValueDict {
+            map: HashMap::new(),
+            strings: vec![NULL_DISPLAY.to_string()],
+        }
+    }
+
+    /// Interns `s`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, s: &str) -> ValueId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as ValueId;
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        id
+    }
+
+    /// Interns an optional cell: `None` maps to [`NULL_VALUE`].
+    pub fn intern_cell(&mut self, cell: Option<&str>) -> ValueId {
+        match cell {
+            None => NULL_VALUE,
+            Some(s) => self.intern(s),
+        }
+    }
+
+    /// Looks up a string without interning it.
+    pub fn lookup(&self, s: &str) -> Option<ValueId> {
+        self.map.get(s).copied()
+    }
+
+    /// The string of value `id`; NULL renders as `"NULL"`.
+    ///
+    /// # Panics
+    /// Panics if `id` was never issued by this dictionary.
+    pub fn string(&self, id: ValueId) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Total number of ids issued, including NULL.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if only the NULL value exists.
+    pub fn is_empty(&self) -> bool {
+        self.strings.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_reserved() {
+        let mut d = ValueDict::new();
+        assert_eq!(d.intern_cell(None), NULL_VALUE);
+        assert_eq!(d.string(NULL_VALUE), "NULL");
+        assert_eq!(d.len(), 1);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = ValueDict::new();
+        let a = d.intern("Boston");
+        let b = d.intern("Boston");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let mut d = ValueDict::new();
+        let a = d.intern("02139");
+        let b = d.intern("02138");
+        assert_ne!(a, b);
+        assert_eq!(d.string(a), "02139");
+        assert_eq!(d.string(b), "02138");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut d = ValueDict::new();
+        assert_eq!(d.lookup("x"), None);
+        let id = d.intern("x");
+        assert_eq!(d.lookup("x"), Some(id));
+    }
+
+    #[test]
+    fn same_string_across_attributes_shares_id() {
+        // The union semantics of V = V1 ∪ … ∪ Vm: interning is global, so
+        // callers interning "Pat" for attribute A and attribute B get one id.
+        let mut d = ValueDict::new();
+        let a = d.intern_cell(Some("Pat"));
+        let b = d.intern_cell(Some("Pat"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,279 @@
+//! The paper's probabilistic views of a relation (Sections 4 and 6).
+//!
+//! * **Tuple matrix `M`** (Figure 2): row `t` is the conditional
+//!   distribution `p(V|t)` — uniform mass `1/m` on each value the tuple
+//!   contains, with `p(t) = 1/n`. Exposed by [`TupleRows`].
+//! * **Value matrix `N`** (Figures 3/6, left): row `v` is `p(T|v)` —
+//!   uniform mass `1/dv` on each of the `dv` tuples containing `v`, with
+//!   `p(v) = 1/d`. Exposed by [`ValueIndex`].
+//! * **Support matrix `O`** (Figure 6, right): `O[v, A]` is the number of
+//!   occurrences of value `v` in attribute `A`. Stored as a sparse row per
+//!   value in [`ValueIndex`], and aggregated under cluster merges by the
+//!   ADCF machinery in `dbmine-limbo`.
+
+use crate::dict::ValueId;
+use crate::relation::Relation;
+use dbmine_infotheory::{mutual_information, SparseDist};
+
+/// The tuple view of a relation: `p(t) = 1/n`, `p(V|t)` uniform on the
+/// tuple's values (with multiplicity: a value occurring in `k` attributes
+/// of the tuple gets mass `k/m`, so each row still sums to one).
+#[derive(Clone, Debug)]
+pub struct TupleRows {
+    rows: Vec<SparseDist>,
+    n: usize,
+}
+
+impl TupleRows {
+    /// Builds `p(V|t)` for every tuple of `rel`.
+    pub fn build(rel: &Relation) -> Self {
+        let m = rel.n_attrs() as f64;
+        let rows = (0..rel.n_tuples())
+            .map(|t| {
+                SparseDist::from_pairs(
+                    (0..rel.n_attrs())
+                        .map(|a| (rel.value(t, a), 1.0 / m))
+                        .collect(),
+                )
+            })
+            .collect();
+        TupleRows {
+            rows,
+            n: rel.n_tuples(),
+        }
+    }
+
+    /// Number of tuples `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the relation had no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The prior `p(t) = 1/n`.
+    pub fn prior(&self) -> f64 {
+        1.0 / self.n as f64
+    }
+
+    /// The conditional row `p(V|t)`.
+    pub fn row(&self, t: usize) -> &SparseDist {
+        &self.rows[t]
+    }
+
+    /// Iterates `(p(t), p(V|t))` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &SparseDist)> + Clone {
+        let p = self.prior();
+        self.rows.iter().map(move |r| (p, r))
+    }
+
+    /// The mutual information `I(T;V)` of the tuple view.
+    pub fn mutual_information(&self) -> f64 {
+        mutual_information(self.iter())
+    }
+}
+
+/// The value view of a relation: occurrence lists, `p(T|v)` rows and the
+/// support matrix `O`.
+#[derive(Clone, Debug)]
+pub struct ValueIndex {
+    /// Distinct value ids present in the relation, in ascending id order.
+    values: Vec<ValueId>,
+    /// Per distinct value: sorted distinct tuple ids containing it.
+    occurrences: Vec<Vec<u32>>,
+    /// Per distinct value: sparse `O` row (attribute id → occurrence count).
+    o_rows: Vec<SparseDist>,
+}
+
+impl ValueIndex {
+    /// Scans the relation once and builds occurrence lists and `O` rows.
+    pub fn build(rel: &Relation) -> Self {
+        let universe = rel.dict().len();
+        let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); universe];
+        let mut attr_counts: Vec<Vec<(u32, f64)>> = vec![Vec::new(); universe];
+        for (t, a, v) in rel.cells() {
+            let occ = &mut occurrences[v as usize];
+            if occ.last() != Some(&(t as u32)) {
+                occ.push(t as u32);
+            }
+            attr_counts[v as usize].push((a as u32, 1.0));
+        }
+        let mut values = Vec::new();
+        let mut occ_out = Vec::new();
+        let mut o_out = Vec::new();
+        for v in 0..universe {
+            if occurrences[v].is_empty() {
+                continue;
+            }
+            values.push(v as ValueId);
+            occ_out.push(std::mem::take(&mut occurrences[v]));
+            o_out.push(SparseDist::from_pairs(std::mem::take(&mut attr_counts[v])));
+        }
+        ValueIndex {
+            values,
+            occurrences: occ_out,
+            o_rows: o_out,
+        }
+    }
+
+    /// The number of distinct values `d = |V|`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the relation had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The prior `p(v) = 1/d`.
+    pub fn prior(&self) -> f64 {
+        1.0 / self.values.len() as f64
+    }
+
+    /// The distinct value ids, ascending.
+    pub fn values(&self) -> &[ValueId] {
+        &self.values
+    }
+
+    /// The value id of the `i`-th distinct value.
+    pub fn value_id(&self, i: usize) -> ValueId {
+        self.values[i]
+    }
+
+    /// Position of `v` among the distinct values, if present.
+    pub fn position(&self, v: ValueId) -> Option<usize> {
+        self.values.binary_search(&v).ok()
+    }
+
+    /// Sorted distinct tuples containing the `i`-th distinct value
+    /// (`dv` = its length).
+    pub fn occurrences(&self, i: usize) -> &[u32] {
+        &self.occurrences[i]
+    }
+
+    /// The conditional row `p(T|v)` of the `i`-th distinct value: uniform
+    /// over its `dv` containing tuples (matrix `N`, Figure 6 left).
+    pub fn n_row(&self, i: usize) -> SparseDist {
+        SparseDist::uniform(self.occurrences[i].iter().copied())
+    }
+
+    /// The sparse `O` row of the `i`-th distinct value: attribute id →
+    /// number of occurrences (Figure 6 right).
+    pub fn o_row(&self, i: usize) -> &SparseDist {
+        &self.o_rows[i]
+    }
+
+    /// Iterates `(p(v), p(T|v))` pairs (allocates each row).
+    pub fn n_rows(&self) -> Vec<(f64, SparseDist)> {
+        let p = self.prior();
+        (0..self.len()).map(|i| (p, self.n_row(i))).collect()
+    }
+
+    /// The mutual information `I(V;T)` of the value view.
+    pub fn mutual_information(&self) -> f64 {
+        let rows = self.n_rows();
+        mutual_information(rows.iter().map(|(p, d)| (*p, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{figure1, figure4, figure5};
+    use dbmine_infotheory::EPS;
+
+    #[test]
+    fn tuple_rows_match_figure2() {
+        // Figure 2: each Figure-1 tuple row has mass 1/3 on its 3 values.
+        let rel = figure1();
+        let rows = TupleRows::build(&rel);
+        assert_eq!(rows.len(), 3);
+        let r0 = rows.row(0);
+        assert_eq!(r0.support(), 3);
+        for (_, w) in r0.iter() {
+            assert!((w - 1.0 / 3.0).abs() < EPS);
+        }
+        // t1 and t2 share Pat and Boston but differ in zip.
+        let shared: Vec<_> = r0
+            .iter()
+            .filter(|&(v, _)| rows.row(1).get(v) > 0.0)
+            .collect();
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn tuple_rows_sum_to_one_with_duplicate_values() {
+        // A tuple holding the same global value twice still sums to 1.
+        let mut b = crate::relation::RelationBuilder::new("t", &["X", "Y"]);
+        b.push_row_strs(&["same", "same"]);
+        let rel = b.build();
+        let rows = TupleRows::build(&rel);
+        assert_eq!(rows.row(0).support(), 1);
+        assert!((rows.row(0).total() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn value_index_matches_figure6() {
+        let rel = figure4();
+        let idx = ValueIndex::build(&rel);
+        assert_eq!(idx.len(), 9);
+        // Value "x" appears in tuples t3, t4, t5 (0-based 2,3,4), attr C (=2) 3 times.
+        let x = rel.dict().lookup("x").unwrap();
+        let i = idx.position(x).unwrap();
+        assert_eq!(idx.occurrences(i), &[2, 3, 4]);
+        let n_row = idx.n_row(i);
+        assert!((n_row.get(2) - 1.0 / 3.0).abs() < EPS);
+        assert_eq!(idx.o_row(i).get(2), 3.0);
+        assert_eq!(idx.o_row(i).get(0), 0.0);
+        // Value "a": tuples t1,t2, attr A twice.
+        let a = rel.dict().lookup("a").unwrap();
+        let ia = idx.position(a).unwrap();
+        assert_eq!(idx.occurrences(ia), &[0, 1]);
+        assert_eq!(idx.o_row(ia).get(0), 2.0);
+    }
+
+    #[test]
+    fn figure5_has_8_values_and_x_in_4_tuples() {
+        let rel = figure5();
+        let idx = ValueIndex::build(&rel);
+        assert_eq!(idx.len(), 8);
+        let x = rel.dict().lookup("x").unwrap();
+        let i = idx.position(x).unwrap();
+        assert_eq!(idx.occurrences(i), &[1, 2, 3, 4]);
+        // p(T|x) = 1/4 each (Figure 8 merges this with p(T|2)).
+        assert!((idx.n_row(i).get(1) - 0.25).abs() < EPS);
+    }
+
+    #[test]
+    fn o_row_totals_equal_occurrence_multiplicity() {
+        let rel = figure4();
+        let idx = ValueIndex::build(&rel);
+        // Σ_j O[v, Aj] equals the total number of cells holding v.
+        let total: f64 = (0..idx.len()).map(|i| idx.o_row(i).total()).sum();
+        assert_eq!(total as usize, rel.n_tuples() * rel.n_attrs());
+    }
+
+    #[test]
+    fn mutual_information_positive_for_structured_data() {
+        let rel = figure4();
+        let t = TupleRows::build(&rel).mutual_information();
+        let v = ValueIndex::build(&rel).mutual_information();
+        assert!(t > 0.0);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn null_value_is_indexed_like_any_other() {
+        let mut b = crate::relation::RelationBuilder::new("t", &["X", "Y"]);
+        b.push_row(&[Some("v"), None]);
+        b.push_row(&[None, None]);
+        let rel = b.build();
+        let idx = ValueIndex::build(&rel);
+        let i = idx.position(crate::dict::NULL_VALUE).unwrap();
+        assert_eq!(idx.occurrences(i), &[0, 1]); // distinct tuples
+        assert_eq!(idx.o_row(i).total(), 3.0); // three NULL cells
+    }
+}

@@ -1,0 +1,58 @@
+//! The running-example relations from the paper, used throughout the
+//! workspace as ground-truth fixtures.
+
+use crate::relation::{Relation, RelationBuilder};
+
+/// Figure 1: the Ename/City/Zip duplication example of the introduction.
+pub fn figure1() -> Relation {
+    let mut b = RelationBuilder::new("fig1", &["Ename", "City", "Zip"]);
+    b.push_row_strs(&["Pat", "Boston", "02139"]);
+    b.push_row_strs(&["Pat", "Boston", "02138"]);
+    b.push_row_strs(&["Sal", "Boston", "02139"]);
+    b.build()
+}
+
+/// Figure 4: the 5-tuple relation with perfect co-occurrence of
+/// `{a,1}` (attributes A,B) and `{2,x}` (attributes B,C), and the exact
+/// functional dependency `C → B`.
+pub fn figure4() -> Relation {
+    let mut b = RelationBuilder::new("fig4", &["A", "B", "C"]);
+    b.push_row_strs(&["a", "1", "p"]);
+    b.push_row_strs(&["a", "1", "r"]);
+    b.push_row_strs(&["w", "2", "x"]);
+    b.push_row_strs(&["y", "2", "x"]);
+    b.push_row_strs(&["z", "2", "x"]);
+    b.build()
+}
+
+/// Figure 5: Figure 4 with value `x` erroneously placed in the second
+/// tuple (column C), so `{2,x}` no longer co-occur perfectly and `C → B`
+/// becomes approximate. Note value `r` disappears: the universe has 8
+/// values.
+pub fn figure5() -> Relation {
+    let mut b = RelationBuilder::new("fig5", &["A", "B", "C"]);
+    b.push_row_strs(&["a", "1", "p"]);
+    b.push_row_strs(&["a", "1", "x"]);
+    b.push_row_strs(&["w", "2", "x"]);
+    b.push_row_strs(&["y", "2", "x"]);
+    b.push_row_strs(&["z", "2", "x"]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let r = figure1();
+        assert_eq!((r.n_tuples(), r.n_attrs()), (3, 3));
+        assert_eq!(r.distinct_value_count(), 5); // Pat, Sal, Boston, 02139, 02138
+    }
+
+    #[test]
+    fn figure4_vs_figure5_universe() {
+        assert_eq!(figure4().distinct_value_count(), 9);
+        assert_eq!(figure5().distinct_value_count(), 8); // "r" gone
+    }
+}

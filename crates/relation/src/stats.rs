@@ -1,0 +1,138 @@
+//! Projection statistics: distinct counts and bag-semantics entropies.
+//!
+//! These are the primitives behind the paper's duplication measures
+//! (Section 8): *Relative Attribute Duplication* needs the entropy of the
+//! tuples projected on an attribute set (bag semantics), and *Relative
+//! Tuple Reduction* needs the distinct count of the projection (set
+//! semantics). Both live in `dbmine-fdrank`; this module supplies the raw
+//! counts so they stay cheap to compute for many attribute sets.
+
+use crate::attrset::AttrSet;
+use crate::relation::{AttrId, Relation};
+use dbmine_infotheory::entropy;
+use std::collections::HashMap;
+
+/// Frequencies of the distinct tuples of `rel` projected on `attrs`
+/// (bag semantics: every input tuple contributes one occurrence).
+pub fn projection_counts(rel: &Relation, attrs: AttrSet) -> HashMap<Vec<u32>, usize> {
+    let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+    for t in 0..rel.n_tuples() {
+        *counts.entry(rel.tuple_projected(t, attrs)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Number of distinct tuples in the projection of `rel` on `attrs`
+/// (the `n'` of the RTR measure).
+pub fn projection_distinct(rel: &Relation, attrs: AttrSet) -> usize {
+    projection_counts(rel, attrs).len()
+}
+
+/// Shannon entropy (bits) of the projected-tuple distribution under bag
+/// semantics: `H(π_attrs(T))` with `p(row) = count(row)/n`.
+pub fn projection_entropy(rel: &Relation, attrs: AttrSet) -> f64 {
+    let n = rel.n_tuples() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    entropy(
+        projection_counts(rel, attrs)
+            .values()
+            .map(|&c| c as f64 / n),
+    )
+}
+
+/// Entropy (bits) of a single column's empirical value distribution.
+pub fn column_entropy(rel: &Relation, a: AttrId) -> f64 {
+    projection_entropy(rel, AttrSet::single(a))
+}
+
+/// Number of distinct values in a single column.
+pub fn column_distinct(rel: &Relation, a: AttrId) -> usize {
+    projection_distinct(rel, AttrSet::single(a))
+}
+
+/// Per-column summary used by reports: name, distinct count, NULL
+/// fraction, entropy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnProfile {
+    pub name: String,
+    pub distinct: usize,
+    pub null_fraction: f64,
+    pub entropy: f64,
+}
+
+/// Profiles every column of the relation.
+pub fn profile_columns(rel: &Relation) -> Vec<ColumnProfile> {
+    (0..rel.n_attrs())
+        .map(|a| ColumnProfile {
+            name: rel.attr_names()[a].clone(),
+            distinct: column_distinct(rel, a),
+            null_fraction: rel.null_fraction(a),
+            entropy: column_entropy(rel, a),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{figure1, figure4};
+    use dbmine_infotheory::EPS;
+
+    #[test]
+    fn distinct_counts_figure4() {
+        let r = figure4();
+        assert_eq!(projection_distinct(&r, AttrSet::single(0)), 4); // a,w,y,z
+        assert_eq!(projection_distinct(&r, AttrSet::single(1)), 2); // 1,2
+        assert_eq!(projection_distinct(&r, AttrSet::single(2)), 3); // p,r,x
+        assert_eq!(projection_distinct(&r, r.all_attrs()), 5);
+        // Projection on {B,C}: (1,p),(1,r),(2,x),(2,x),(2,x) → 3 distinct.
+        assert_eq!(projection_distinct(&r, [1, 2].into_iter().collect()), 3);
+    }
+
+    #[test]
+    fn entropy_of_constant_column_is_zero() {
+        let r = figure1();
+        let city = r.attr_id("City").unwrap();
+        assert!(column_entropy(&r, city).abs() < EPS);
+        assert_eq!(column_distinct(&r, city), 1);
+    }
+
+    #[test]
+    fn entropy_of_b_column_figure4() {
+        // B = [1,1,2,2,2]: H = -(0.4 log 0.4 + 0.6 log 0.6) ≈ 0.971 bits.
+        let r = figure4();
+        let h = column_entropy(&r, 1);
+        assert!((h - 0.970_95).abs() < 1e-4, "got {h}");
+    }
+
+    #[test]
+    fn projection_entropy_monotone_in_attrs() {
+        // Adding attributes can only refine the partition → entropy grows.
+        let r = figure4();
+        let h1 = projection_entropy(&r, AttrSet::single(1));
+        let h12 = projection_entropy(&r, [1, 2].into_iter().collect());
+        let hall = projection_entropy(&r, r.all_attrs());
+        assert!(h1 <= h12 + EPS);
+        assert!(h12 <= hall + EPS);
+    }
+
+    #[test]
+    fn profile_reports_all_columns() {
+        let r = figure1();
+        let p = profile_columns(&r);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].name, "Ename");
+        assert_eq!(p[0].distinct, 2);
+        assert_eq!(p[1].distinct, 1);
+        assert_eq!(p[2].null_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_relation_entropy_zero() {
+        let r = crate::relation::RelationBuilder::new("e", &["X"]).build();
+        assert_eq!(projection_entropy(&r, AttrSet::single(0)), 0.0);
+        assert_eq!(projection_distinct(&r, AttrSet::single(0)), 0);
+    }
+}

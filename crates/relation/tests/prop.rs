@@ -1,0 +1,113 @@
+//! Property tests for the relation substrate: CSV round-trips, interning
+//! consistency and projection invariants on arbitrary data.
+
+use dbmine_relation::csv::{read_relation, write_relation};
+use dbmine_relation::stats::{projection_distinct, projection_entropy};
+use dbmine_relation::{AttrSet, Relation, RelationBuilder, TupleRows, ValueIndex};
+use proptest::prelude::*;
+
+/// Arbitrary cell content, including empty strings, quotes, commas,
+/// newlines and NULLs.
+fn arb_cell() -> impl Strategy<Value = Option<String>> {
+    proptest::option::weighted(
+        0.8,
+        proptest::string::string_regex("[ -~]{0,8}").expect("regex"),
+    )
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (1usize..=4, 0usize..=8).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::collection::vec(arb_cell(), m), n).prop_map(
+            move |rows| {
+                let names: Vec<String> = (0..m).map(|a| format!("c{a}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let mut b = RelationBuilder::new("t", &refs);
+                for row in rows {
+                    let cells: Vec<Option<&str>> = row.iter().map(|c| c.as_deref()).collect();
+                    b.push_row(&cells);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csv_roundtrip_preserves_cells(rel in arb_relation()) {
+        let mut buf = Vec::new();
+        write_relation(&rel, &mut buf).unwrap();
+        let back = read_relation(buf.as_slice(), "t").unwrap();
+        prop_assert_eq!(back.n_tuples(), rel.n_tuples());
+        prop_assert_eq!(back.n_attrs(), rel.n_attrs());
+        for t in 0..rel.n_tuples() {
+            for a in 0..rel.n_attrs() {
+                prop_assert_eq!(back.is_null(t, a), rel.is_null(t, a), "null ({}, {})", t, a);
+                if !rel.is_null(t, a) {
+                    prop_assert_eq!(back.value_str(t, a), rel.value_str(t, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interning_is_consistent(rel in arb_relation()) {
+        // Equal strings ⇔ equal value ids, across all cells.
+        let cells: Vec<(usize, usize)> = (0..rel.n_tuples())
+            .flat_map(|t| (0..rel.n_attrs()).map(move |a| (t, a)))
+            .collect();
+        for &(t1, a1) in &cells {
+            for &(t2, a2) in &cells {
+                let same_id = rel.value(t1, a1) == rel.value(t2, a2);
+                let same_str = rel.is_null(t1, a1) == rel.is_null(t2, a2)
+                    && rel.value_str(t1, a1) == rel.value_str(t2, a2);
+                // NULLs all share one id and render as "NULL".
+                prop_assert_eq!(same_id, same_str, "cells ({},{}) vs ({},{})", t1, a1, t2, a2);
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_rows_are_distributions(rel in arb_relation()) {
+        if rel.n_tuples() == 0 { return Ok(()); }
+        let rows = TupleRows::build(&rel);
+        for t in 0..rel.n_tuples() {
+            prop_assert!(rows.row(t).is_normalized(1e-9));
+        }
+        prop_assert!(rows.mutual_information() >= -1e-9);
+    }
+
+    #[test]
+    fn value_index_accounts_every_cell(rel in arb_relation()) {
+        let idx = ValueIndex::build(&rel);
+        let total_o: f64 = (0..idx.len()).map(|i| idx.o_row(i).total()).sum();
+        prop_assert_eq!(total_o as usize, rel.n_tuples() * rel.n_attrs());
+        // Occurrence lists are sorted, deduplicated, in range.
+        for i in 0..idx.len() {
+            let occ = idx.occurrences(i);
+            prop_assert!(occ.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(occ.iter().all(|&t| (t as usize) < rel.n_tuples()));
+        }
+    }
+
+    #[test]
+    fn projection_invariants(rel in arb_relation(), bits in 0u64..15) {
+        if rel.n_tuples() == 0 { return Ok(()); }
+        let attrs = AttrSet::from_bits(bits).intersect(rel.all_attrs());
+        if attrs.is_empty() { return Ok(()); }
+        let d = projection_distinct(&rel, attrs);
+        prop_assert!(d >= 1 && d <= rel.n_tuples());
+        let h = projection_entropy(&rel, attrs);
+        prop_assert!(h >= -1e-9);
+        prop_assert!(h <= (rel.n_tuples() as f64).log2() + 1e-9);
+        // Entropy is maximal exactly when all projected rows are distinct.
+        if d == rel.n_tuples() {
+            prop_assert!((h - (d as f64).log2()).abs() < 1e-9);
+        }
+        // Adding attributes never decreases the distinct count.
+        let bigger = projection_distinct(&rel, rel.all_attrs());
+        prop_assert!(bigger >= d);
+    }
+}

@@ -1,0 +1,167 @@
+//! ASCII rendering of dendrograms (the Figures 10 and 14–18 of the paper).
+//!
+//! Leaves appear top-to-bottom in dendrogram traversal order (so merged
+//! clusters are adjacent, as in the paper's figures); each merge is drawn
+//! at a column proportional to its information loss.
+
+#![allow(clippy::needless_range_loop)] // column painting is clearer indexed
+
+use dbmine_ib::Dendrogram;
+
+/// Renders `dendro` with the given leaf labels into a multi-line string.
+///
+/// `width` is the number of character columns allotted to the loss axis.
+pub fn render_dendrogram(dendro: &Dendrogram, labels: &[String], width: usize) -> String {
+    let n = dendro.n_leaves();
+    assert_eq!(labels.len(), n, "one label per leaf required");
+    if n == 0 {
+        return String::from("(empty)\n");
+    }
+    let width = width.max(10);
+    let max_loss = dendro.max_loss().max(1e-12);
+
+    // Leaf display order: traverse the final forest so siblings sit together.
+    let order = display_order(dendro);
+    let mut row_of = vec![0usize; n];
+    for (row, &leaf) in order.iter().enumerate() {
+        row_of[leaf] = row;
+    }
+
+    let label_w = labels.iter().map(|l| l.chars().count()).max().unwrap_or(1);
+    let mut grid: Vec<Vec<char>> = (0..n).map(|_| vec![' '; width + 1]).collect();
+
+    // Each node occupies a row span; track (top_row, bottom_row, column).
+    let mut span: Vec<(usize, usize, usize)> =
+        (0..n + dendro.merges().len()).map(|_| (0, 0, 0)).collect();
+    for leaf in 0..n {
+        span[leaf] = (row_of[leaf], row_of[leaf], 0);
+    }
+    for m in dendro.merges() {
+        let col = ((m.loss / max_loss) * (width - 1) as f64).round() as usize + 1;
+        let (lt, lb, lc) = span[m.left];
+        let (rt, rb, rc) = span[m.right];
+        // Horizontal stems from each child's connector row to the merge column.
+        let l_row = (lt + lb) / 2;
+        let r_row = (rt + rb) / 2;
+        for c in lc..col.min(width) {
+            if grid[l_row][c] == ' ' {
+                grid[l_row][c] = '-';
+            }
+        }
+        for c in rc..col.min(width) {
+            if grid[r_row][c] == ' ' {
+                grid[r_row][c] = '-';
+            }
+        }
+        // Vertical joint at the merge column.
+        let (top, bot) = (l_row.min(r_row), l_row.max(r_row));
+        let c = col.min(width);
+        for row in top..=bot {
+            grid[row][c] = if row == top || row == bot { '+' } else { '|' };
+        }
+        span[m.node] = (lt.min(rt), lb.max(rb), c);
+    }
+
+    let mut out = String::new();
+    for (row, &leaf) in order.iter().enumerate() {
+        let label = &labels[leaf];
+        out.push_str(label);
+        for _ in label.chars().count()..label_w {
+            out.push(' ');
+        }
+        out.push(' ');
+        out.extend(grid[row].iter());
+        out.push('\n');
+    }
+    // Loss axis.
+    for _ in 0..label_w + 1 {
+        out.push(' ');
+    }
+    out.push_str(&format!("0{:>w$.3}\n", max_loss, w = width - 1));
+    out
+}
+
+/// Leaf order by final-forest traversal (left subtree first, in merge
+/// order), so clusters render contiguously.
+fn display_order(dendro: &Dendrogram) -> Vec<usize> {
+    let n = dendro.n_leaves();
+    let total = n + dendro.merges().len();
+    let mut consumed = vec![false; total];
+    for m in dendro.merges() {
+        consumed[m.left] = true;
+        consumed[m.right] = true;
+    }
+    let mut order = Vec::with_capacity(n);
+    // Roots = nodes never consumed; visit them in id order.
+    for root in 0..total {
+        if !consumed[root] {
+            collect(dendro, root, &mut order);
+        }
+    }
+    order
+}
+
+fn collect(dendro: &Dendrogram, node: usize, out: &mut Vec<usize>) {
+    if node < dendro.n_leaves() {
+        out.push(node);
+    } else {
+        let m = dendro.merges()[node - dendro.n_leaves()];
+        collect(dendro, m.left, out);
+        collect(dendro, m.right, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure10() -> (Dendrogram, Vec<String>) {
+        let mut d = Dendrogram::new(3);
+        let bc = d.push(1, 2, 0.158);
+        d.push(0, bc, 0.516);
+        (d, vec!["A".into(), "B".into(), "C".into()])
+    }
+
+    #[test]
+    fn renders_all_labels() {
+        let (d, labels) = figure10();
+        let s = render_dendrogram(&d, &labels, 40);
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains('C'));
+        assert!(s.lines().count() == 4); // 3 leaves + axis
+    }
+
+    #[test]
+    fn merged_leaves_are_adjacent() {
+        let (d, labels) = figure10();
+        let s = render_dendrogram(&d, &labels, 40);
+        let rows: Vec<&str> = s.lines().collect();
+        // B and C (first merge) must be on adjacent rows.
+        let b = rows.iter().position(|r| r.starts_with('B')).unwrap();
+        let c = rows.iter().position(|r| r.starts_with('C')).unwrap();
+        assert_eq!(b.abs_diff(c), 1);
+    }
+
+    #[test]
+    fn axis_shows_max_loss() {
+        let (d, labels) = figure10();
+        let s = render_dendrogram(&d, &labels, 40);
+        assert!(s.contains("0.516"));
+    }
+
+    #[test]
+    fn empty_dendrogram() {
+        let d = Dendrogram::new(0);
+        assert_eq!(render_dendrogram(&d, &[], 20), "(empty)\n");
+    }
+
+    #[test]
+    fn unmerged_leaves_still_render() {
+        let mut d = Dendrogram::new(3);
+        d.push(0, 1, 0.2);
+        let labels = vec!["X".into(), "Y".into(), "Z".into()];
+        let s = render_dendrogram(&d, &labels, 20);
+        assert!(s.contains('Z'));
+    }
+}

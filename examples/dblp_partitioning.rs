@@ -1,0 +1,79 @@
+//! Horizontal partitioning of an overloaded, integrated relation
+//! (Section 8.2 of the paper): a DBLP-style table mixing conference,
+//! journal and miscellaneous publications is split into homogeneous
+//! partitions, each with a far simpler dependency structure.
+//!
+//! ```sh
+//! cargo run --release --example dblp_partitioning          # 8k tuples
+//! DBLP_TUPLES=50000 cargo run --release --example dblp_partitioning
+//! ```
+
+use dbmine::datagen::{dblp_sample, DblpSpec};
+use dbmine::relation::AttrSet;
+use dbmine::summaries::horizontal_partition;
+
+fn main() {
+    let n: usize = std::env::var("DBLP_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    let rel = dblp_sample(&DblpSpec {
+        n_tuples: n,
+        ..Default::default()
+    });
+
+    // Step 1: set the ≥98%-NULL attributes aside — they carry almost no
+    // information about the tuples and belong in separate storage.
+    println!("NULL fractions:");
+    let mut keep = AttrSet::EMPTY;
+    for a in 0..rel.n_attrs() {
+        let f = rel.null_fraction(a);
+        println!("  {:<10} {:.1}%", rel.attr_names()[a], 100.0 * f);
+        if f < 0.9 {
+            keep = keep.with(a);
+        }
+    }
+    let projected = rel.project(keep);
+    println!(
+        "\nprojected to {} informative attributes: {:?}",
+        projected.n_attrs(),
+        projected.attr_names()
+    );
+
+    // Step 2: partition horizontally; the knee heuristic picks k.
+    let part = horizontal_partition(&projected, 0.75, None, 6);
+    println!(
+        "\nknee heuristic chose k = {} ({} Phase 1 summaries)",
+        part.k, part.n_summaries
+    );
+    let bt = projected.attr_id("BookTitle");
+    let jr = projected.attr_id("Journal");
+    for (i, tuples) in part.partitions.iter().enumerate() {
+        let with_bt = bt
+            .map(|a| tuples.iter().filter(|&&t| !projected.is_null(t, a)).count())
+            .unwrap_or(0);
+        let with_jr = jr
+            .map(|a| tuples.iter().filter(|&&t| !projected.is_null(t, a)).count())
+            .unwrap_or(0);
+        println!(
+            "  partition {}: {:>6} tuples — {:>5.1}% conference-like, {:>5.1}% journal-like",
+            i + 1,
+            tuples.len(),
+            100.0 * with_bt as f64 / tuples.len() as f64,
+            100.0 * with_jr as f64 / tuples.len() as f64
+        );
+    }
+
+    // Step 3: each partition is structurally simpler than the whole.
+    let whole_fds =
+        dbmine::fdmine::mine_tane(&projected, dbmine::fdmine::TaneOptions { max_lhs: Some(4) });
+    println!("\nFDs on the unpartitioned projection: {}", whole_fds.len());
+    for (i, _) in part.partitions.iter().enumerate() {
+        let p = part.partition_relation(&projected, i);
+        let fds = dbmine::fdmine::mine_tane(&p, dbmine::fdmine::TaneOptions { max_lhs: Some(4) });
+        println!("  partition {}: {} FDs", i + 1, fds.len());
+    }
+    println!(
+        "(homogeneous partitions ⇒ fewer, cleaner dependencies — the paper's closing observation)"
+    );
+}

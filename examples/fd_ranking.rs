@@ -1,0 +1,67 @@
+//! Understanding a flood of mined dependencies: a dependency miner run
+//! on a real instance returns hundreds of FDs; FD-RANK orders them by
+//! the redundancy a decomposition along them would remove (Section 7).
+//!
+//! ```sh
+//! cargo run --release --example fd_ranking
+//! ```
+
+use dbmine::datagen::{db2_sample, Db2Spec};
+use dbmine::fdmine::{mine_fdep, minimum_cover};
+use dbmine::fdrank::{rad, rank_fds, rtr};
+use dbmine::summaries::{cluster_values, group_attributes};
+
+fn main() {
+    let rel = db2_sample(&Db2Spec::default()).relation;
+    let names = rel.attr_names().to_vec();
+
+    // Step 1: a dependency miner "reveals hundreds or thousands of
+    // potential dependencies when run on large, real data sets".
+    let fds = mine_fdep(&rel);
+    let cover = minimum_cover(&fds);
+    println!(
+        "FDEP found {} minimal dependencies; minimum cover still has {}.",
+        fds.len(),
+        cover.len()
+    );
+    println!("Which ones matter? Ranking by captured redundancy:\n");
+
+    // Step 2: build the attribute grouping from duplicate value groups.
+    let values = cluster_values(&rel, 0.0, None);
+    let grouping = group_attributes(&values, rel.n_attrs());
+    println!(
+        "duplicate value groups: {}; participating attributes |A_D| = {}; max merge loss = {:.3}",
+        values.duplicates().count(),
+        grouping.attrs.len(),
+        grouping.max_loss()
+    );
+
+    // Step 3: FD-RANK under different ψ thresholds.
+    for psi in [0.25, 0.5, 1.0] {
+        let ranked = rank_fds(&cover, &grouping, psi);
+        let promoted = ranked
+            .iter()
+            .filter(|r| r.rank < grouping.max_loss() - 1e-9)
+            .count();
+        println!(
+            "\nψ = {psi}: {promoted} of {} dependencies promoted above the baseline",
+            ranked.len()
+        );
+        for r in ranked.iter().take(5) {
+            let attrs = r.attrs();
+            println!(
+                "  {:<34} rank = {:.3}  RAD = {:.3}  RTR = {:.3}",
+                r.display(&names),
+                r.rank,
+                rad(&rel, attrs),
+                rtr(&rel, attrs)
+            );
+        }
+    }
+
+    println!(
+        "\nInterpretation: low-rank dependencies unite attributes that share heavy\n\
+         duplication; decomposing along them removes the most redundancy\n\
+         (high RAD/RTR confirm it on this instance)."
+    );
+}

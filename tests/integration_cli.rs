@@ -1,0 +1,88 @@
+//! Smoke tests for the `dbmine` CLI binary (compiled from
+//! `crates/core/src/bin/dbmine.rs`).
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_demo_csv() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbmine_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("demo.csv");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "Name,City,Zip").unwrap();
+    for (n, c, z) in [
+        ("Pat", "Boston", "02139"),
+        ("Sal", "Boston", "02139"),
+        ("Kim", "Boston", "02139"),
+        ("Kim", "Boston", "02139"), // exact duplicate
+        ("Ana", "Toronto", "M5S1A1"),
+        ("Lee", "Toronto", "M5S1A1"),
+    ] {
+        writeln!(f, "{n},{c},{z}").unwrap();
+    }
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dbmine"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyze_produces_full_report() {
+    let csv = write_demo_csv();
+    let (stdout, stderr, ok) = run(&["analyze", csv.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("# column profile"));
+    assert!(stdout.contains("Name"));
+    assert!(stdout.contains("# dependencies"));
+    // City ↔ Zip redundancy must surface in the ranking.
+    assert!(stdout.contains("rank="), "{stdout}");
+}
+
+#[test]
+fn duplicates_finds_exact_copy() {
+    let csv = write_demo_csv();
+    let (stdout, _, ok) = run(&["duplicates", csv.to_str().unwrap(), "--phi-t", "0.0"]);
+    assert!(ok);
+    assert!(stdout.contains("candidate groups"));
+    assert!(stdout.contains("group 1"), "{stdout}");
+}
+
+#[test]
+fn fds_exact_and_approximate() {
+    let csv = write_demo_csv();
+    let (stdout, _, ok) = run(&["fds", csv.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("exact minimal dependencies"), "{stdout}");
+
+    let (stdout, _, ok) = run(&["fds", csv.to_str().unwrap(), "--approx", "0.2"]);
+    assert!(ok);
+    assert!(stdout.contains("approximate dependencies"), "{stdout}");
+    assert!(stdout.contains("g3 ="), "{stdout}");
+}
+
+#[test]
+fn partition_runs() {
+    let csv = write_demo_csv();
+    let (stdout, _, ok) = run(&["partition", csv.to_str().unwrap(), "--k", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("partition 1"), "{stdout}");
+    assert!(stdout.contains("partition 2"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (_, _, ok) = run(&["nonsense"]);
+    assert!(!ok);
+    let (_, stderr, ok2) = run(&["analyze", "/definitely/not/a/file.csv"]);
+    assert!(!ok2);
+    assert!(stderr.contains("cannot read"));
+}
