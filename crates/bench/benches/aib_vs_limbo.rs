@@ -3,27 +3,39 @@
 //! pays AIB cost only on the (much smaller) leaf set. The crossover —
 //! and the fact that LIMBO's advantage grows with `n` — is the paper's
 //! core scalability claim.
+//!
+//! Two extra groups compare the AIB implementations themselves:
+//! `aib_impl` pits the nearest-neighbor-cache [`aib`] against the
+//! all-pairs lazy-deletion-heap [`aib_reference`] oracle, and
+//! `aib_threads` measures the `--threads` knob at `q ≥ 2000` leaves
+//! (expect wins only on multi-core machines; the results are
+//! bit-identical regardless).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbmine::datagen::{dblp_sample, DblpSpec};
-use dbmine::ib::aib;
+use dbmine::ib::{aib, aib_reference, aib_with};
 use dbmine::limbo::{phase1, phase2, tuple_dcfs, LimboParams};
 use dbmine::relation::TupleRows;
+
+fn dblp_objects(n: usize) -> (Vec<dbmine::ib::Dcf>, f64) {
+    let spec = DblpSpec {
+        n_tuples: n,
+        n_authors: 200,
+        n_conferences: 40,
+        n_journals: 12,
+        ..Default::default()
+    };
+    let rel = dblp_sample(&spec);
+    let objects = tuple_dcfs(&rel);
+    let mi = TupleRows::build(&rel).mutual_information();
+    (objects, mi)
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("aib_vs_limbo");
     g.sample_size(10);
     for &n in &[200usize, 400, 800] {
-        let spec = DblpSpec {
-            n_tuples: n,
-            n_authors: 200,
-            n_conferences: 40,
-            n_journals: 12,
-            ..Default::default()
-        };
-        let rel = dblp_sample(&spec);
-        let objects = tuple_dcfs(&rel);
-        let mi = TupleRows::build(&rel).mutual_information();
+        let (objects, mi) = dblp_objects(n);
 
         g.bench_with_input(BenchmarkId::new("aib", n), &n, |b, _| {
             b.iter(|| aib(objects.clone(), 3))
@@ -43,5 +55,38 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// NN-cache `aib` vs the all-pairs `aib_reference` oracle. The cache
+/// keeps the heap at O(q) entries instead of O(q²), which shows up both
+/// in wall-clock and peak memory as `q` grows.
+fn bench_impl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aib_impl");
+    g.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let (objects, _) = dblp_objects(n);
+        g.bench_with_input(BenchmarkId::new("nn_cache", n), &n, |b, _| {
+            b.iter(|| aib(objects.clone(), 3))
+        });
+        g.bench_with_input(BenchmarkId::new("reference_heap", n), &n, |b, _| {
+            b.iter(|| aib_reference(objects.clone(), 3))
+        });
+    }
+    g.finish();
+}
+
+/// Serial vs parallel `aib_with` at `q ≥ 2000` leaves.
+fn bench_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aib_threads");
+    g.sample_size(2);
+    for &n in &[2000usize] {
+        let (objects, _) = dblp_objects(n);
+        for &t in &[1usize, 4] {
+            g.bench_with_input(BenchmarkId::new(format!("threads_{t}"), n), &n, |b, _| {
+                b.iter(|| aib_with(objects.clone(), 3, t))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_impl, bench_threads);
 criterion_main!(benches);

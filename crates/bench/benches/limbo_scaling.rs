@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbmine::datagen::{dblp_sample, DblpSpec};
-use dbmine::limbo::{phase1, tuple_dcfs, LimboParams};
+use dbmine::limbo::{phase1, run, tuple_dcfs, LimboParams};
 use dbmine::relation::TupleRows;
 
 fn bench(c: &mut Criterion) {
@@ -33,5 +33,26 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// The full three-phase pipeline with the `threads` knob: Phase 1 is
+/// inherently serial (streaming inserts), Phases 2 and 3 parallelize.
+fn bench_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("limbo_run_threads");
+    g.sample_size(5);
+    let n = 4000usize;
+    let spec = DblpSpec {
+        n_tuples: n,
+        ..DblpSpec::small()
+    };
+    let rel = dblp_sample(&spec);
+    let objects = tuple_dcfs(&rel);
+    let mi = TupleRows::build(&rel).mutual_information();
+    for &t in &[1usize, 4] {
+        g.bench_with_input(BenchmarkId::new(format!("threads_{t}"), n), &n, |b, _| {
+            b.iter(|| run(&objects, mi, 3, LimboParams::with_phi(1.0).threads(t)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_threads);
 criterion_main!(benches);

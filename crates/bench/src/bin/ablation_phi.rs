@@ -38,7 +38,11 @@ fn main() {
             objects.iter().cloned(),
             mi,
             objects.len(),
-            LimboParams { phi, branching: 4 },
+            LimboParams {
+                phi,
+                branching: 4,
+                ..Default::default()
+            },
         );
         let elapsed = start.elapsed();
         // Information retained by the leaf clustering.
@@ -68,6 +72,7 @@ fn main() {
             LimboParams {
                 phi: 1.0,
                 branching: b,
+                ..Default::default()
             },
         );
         let clustering = aib(model.leaves.clone(), 3);

@@ -10,9 +10,10 @@
 
 use dbmine::fdmine::{mine_approximate, minimum_cover};
 use dbmine::fdrank::decompose;
+use dbmine::limbo::LimboParams;
 use dbmine::relation::csv::read_relation_path;
 use dbmine::relation::Relation;
-use dbmine::summaries::{find_duplicate_tuples, horizontal_partition};
+use dbmine::summaries::{find_duplicate_tuples_with, horizontal_partition_with};
 use dbmine::{FdMiner, MinerConfig, StructureMiner};
 use std::process::exit;
 
@@ -36,7 +37,9 @@ fn usage() -> ! {
          \x20 --approx E   mine approximate FDs with g3 error ≤ E\n\
          \x20 --max-lhs N  bound FD left-hand-side size\n\
          \x20 --k N        force the number of horizontal partitions\n\
-         \x20 --steps N    decomposition steps for redesign (default 3)"
+         \x20 --steps N    decomposition steps for redesign (default 3)\n\
+         \x20 --threads N  worker threads for clustering (1 = serial,\n\
+         \x20              0 = all cores; results are bit-identical)"
     );
     exit(2);
 }
@@ -79,6 +82,9 @@ impl Args {
             .get(name)
             .map(|v| v.parse().unwrap_or_else(|_| usage()))
     }
+    fn threads(&self) -> usize {
+        self.usize_flag("threads").unwrap_or(1)
+    }
 }
 
 fn load(path: &str) -> Relation {
@@ -108,6 +114,7 @@ fn cmd_analyze(args: &Args) {
         psi: args.f64_flag("psi", 0.5),
         fd_miner: FdMiner::Auto,
         max_lhs: args.usize_flag("max-lhs"),
+        threads: args.threads(),
     };
     let report = StructureMiner::new(config).analyze(&rel);
     print!("{}", report.render(&rel));
@@ -116,7 +123,8 @@ fn cmd_analyze(args: &Args) {
 fn cmd_duplicates(args: &Args) {
     let rel = load(&args.path);
     let phi = args.f64_flag("phi-t", 0.1);
-    let report = find_duplicate_tuples(&rel, phi);
+    let report =
+        find_duplicate_tuples_with(&rel, LimboParams::with_phi(phi).threads(args.threads()));
     println!(
         "φT = {phi}: {} candidate groups (threshold τ = {:.3e})",
         report.groups.len(),
@@ -143,7 +151,7 @@ fn cmd_fds(args: &Args) {
             let approx = mine_approximate(&rel, eps, max_lhs);
             println!("approximate dependencies (g3 ≤ {eps}): {}", approx.len());
             let mut sorted = approx;
-            sorted.sort_by(|a, b| a.error.partial_cmp(&b.error).expect("no NaN"));
+            sorted.sort_by(|a, b| a.error.total_cmp(&b.error));
             for f in sorted.iter().take(30) {
                 println!("  {:<44} g3 = {:.4}", f.fd.display(&names), f.error);
             }
@@ -167,7 +175,12 @@ fn cmd_partition(args: &Args) {
     let rel = load(&args.path);
     let phi = args.f64_flag("phi-t", 0.5);
     let k = args.usize_flag("k");
-    let part = horizontal_partition(&rel, phi, k, 8);
+    let part = horizontal_partition_with(
+        &rel,
+        LimboParams::with_phi(phi).threads(args.threads()),
+        k,
+        8,
+    );
     println!(
         "k = {} ({} Phase 1 summaries); information retained by clusters: {:.1}%",
         part.k,

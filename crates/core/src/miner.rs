@@ -2,11 +2,12 @@
 
 use dbmine_fdmine::{mine_fdep, mine_tane, minimum_cover, Fd, TaneOptions};
 use dbmine_fdrank::{rad, rank_fds, rtr, RankedFd};
+use dbmine_limbo::LimboParams;
 use dbmine_relation::stats::{profile_columns, ColumnProfile};
 use dbmine_relation::Relation;
 use dbmine_summaries::{
-    cluster_values, find_duplicate_tuples, group_attributes, AttributeGrouping, DuplicateReport,
-    ValueClustering,
+    cluster_values_with, find_duplicate_tuples_with, group_attributes, AttributeGrouping,
+    DuplicateReport, ValueClustering,
 };
 
 /// Which dependency miner to run.
@@ -35,6 +36,9 @@ pub struct MinerConfig {
     pub fd_miner: FdMiner,
     /// Bound on TANE's LHS size (None = exact and unbounded).
     pub max_lhs: Option<usize>,
+    /// Worker threads for the clustering stages (`1` = serial, `0` = all
+    /// cores). Results are bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for MinerConfig {
@@ -45,6 +49,7 @@ impl Default for MinerConfig {
             psi: 0.5,
             fd_miner: FdMiner::Auto,
             max_lhs: None,
+            threads: 1,
         }
     }
 }
@@ -216,8 +221,13 @@ impl StructureMiner {
     pub fn analyze(&self, rel: &Relation) -> StructureReport {
         let c = &self.config;
         let columns = profile_columns(rel);
-        let duplicate_tuples = find_duplicate_tuples(rel, c.phi_tuples);
-        let value_groups = cluster_values(rel, c.phi_values, None);
+        let duplicate_tuples =
+            find_duplicate_tuples_with(rel, LimboParams::with_phi(c.phi_tuples).threads(c.threads));
+        let value_groups = cluster_values_with(
+            rel,
+            LimboParams::with_phi(c.phi_values).threads(c.threads),
+            None,
+        );
         let attribute_grouping = group_attributes(&value_groups, rel.n_attrs());
 
         let fds = match self.effective_miner(rel) {

@@ -54,7 +54,6 @@ pub fn mine_approximate(rel: &Relation, epsilon: f64, max_lhs: Option<usize>) ->
     let mut level = 1usize;
 
     while !current.is_empty() {
-        let mut pruned: Vec<u64> = Vec::new();
         for &x in &current {
             let px = &current_parts[&x.bits()];
             for a in x.iter() {
@@ -74,50 +73,26 @@ pub fn mine_approximate(rel: &Relation, epsilon: f64, max_lhs: Option<usize>) ->
                     found_lhs[a].push(lhs);
                 }
             }
-            // Keys determine everything exactly; emit their minimal
-            // consequents directly, then stop expanding them.
-            if px.is_key() {
-                for a in rel.all_attrs().minus(x).iter() {
-                    if found_lhs[a].iter().any(|&f| f.is_subset_of(x)) {
-                        continue;
-                    }
-                    let minimal = x.iter().all(|b| {
-                        let sub = x.without(b);
-                        let p_sub = partition_of_set(sub, rel);
-                        let p_sub_a = p_sub.product(&StrippedPartition::of_attr(rel, a));
-                        p_sub.g3_error(&p_sub_a) > epsilon
-                    });
-                    if minimal {
-                        found.push(ApproxFd {
-                            fd: Fd::new(x, a),
-                            error: 0.0,
-                        });
-                        found_lhs[a].push(x);
-                    }
-                }
-                pruned.push(x.bits());
-            }
-            // If every attribute outside X is (approximately) determined
-            // by some subset of X, expanding X cannot produce new minimal
-            // dependencies with RHS outside X, but can still refine RHSs
-            // inside X ∪ ... — keep it simple and only prune keys.
+            // Note: unlike exact TANE, a key X must NOT be pruned from
+            // candidate generation. The FD (X∪{b})\{a} → a (for a ∈ X) is
+            // only ever tested from the candidate X∪{b}; its LHS does not
+            // contain X, so it can still be minimal even though X is a key.
+            // Without the rhs⁺ machinery that makes TANE's key pruning
+            // complete, deleting X here silently loses those dependencies.
+            // Keys still cost nothing extra to emit: a key LHS has an empty
+            // stripped partition, so its g3 error is exactly 0.0 and its
+            // consequents surface through the normal test one level up.
         }
         if max_lhs.is_some_and(|max| level > max) {
             break;
         }
 
-        let pruned: std::collections::HashSet<u64> = pruned.into_iter().collect();
-        let survivors: Vec<AttrSet> = current
-            .iter()
-            .copied()
-            .filter(|x| !pruned.contains(&x.bits()))
-            .collect();
         let survivor_bits: std::collections::HashSet<u64> =
-            survivors.iter().map(|s| s.bits()).collect();
+            current.iter().map(|s| s.bits()).collect();
 
         // Prefix join.
         let mut blocks: HashMap<u64, Vec<AttrSet>> = HashMap::new();
-        for &s in &survivors {
+        for &s in &current {
             let max_attr = s.iter().last().expect("non-empty");
             blocks
                 .entry(s.without(max_attr).bits())
@@ -170,21 +145,6 @@ pub fn mine_approximate(rel: &Relation, epsilon: f64, max_lhs: Option<usize>) ->
         .filter_map(|(f, k)| k.then_some(f))
         .filter(|f| !f.fd.is_trivial())
         .collect()
-}
-
-/// Partition of an arbitrary set built from single-attribute partitions.
-fn partition_of_set(set: AttrSet, rel: &Relation) -> StrippedPartition {
-    let mut iter = set.iter();
-    match iter.next() {
-        None => StrippedPartition::of_empty(rel.n_tuples()),
-        Some(first) => {
-            let mut p = StrippedPartition::of_attr(rel, first);
-            for a in iter {
-                p = p.product(&StrippedPartition::of_attr(rel, a));
-            }
-            p
-        }
-    }
 }
 
 /// Convenience: the exact-FD subset of an approximate run (sanity tool).

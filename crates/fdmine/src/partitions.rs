@@ -20,6 +20,20 @@ pub struct StrippedPartition {
 
 impl StrippedPartition {
     /// The partition of a single attribute.
+    ///
+    /// # NULL semantics
+    ///
+    /// NULL cells intern to the single reserved value id
+    /// (`dbmine_relation::NULL_VALUE`), so **all NULLs of a column fall
+    /// into one equivalence class** — NULL compares equal to NULL. This
+    /// silently *strengthens* mined dependencies on NULL-heavy data: two
+    /// tuples that are NULL in every attribute of `X` agree on `X`, so
+    /// `X → A` can only hold if they also agree on `A`, and a column that
+    /// is entirely NULL behaves as a constant (`∅ → A` holds). That is
+    /// the semantics the paper's DBLP experiments rely on (Section 8.2:
+    /// the journal attributes are constant-NULL inside the conference
+    /// partition), but note it is the *opposite* of SQL, where
+    /// `NULL = NULL` is unknown and such FDs would be vacuous instead.
     pub fn of_attr(rel: &Relation, a: AttrId) -> Self {
         let mut groups: std::collections::HashMap<u32, Vec<u32>> = Default::default();
         for (t, &v) in rel.column(a).iter().enumerate() {
@@ -225,6 +239,36 @@ mod tests {
         let pbc = pb.product(&pc);
         assert!((pb.g3_error(&pbc) - 0.2).abs() < 1e-12);
         let _ = pc; // silence unused in this configuration
+    }
+
+    #[test]
+    fn nulls_compare_equal_and_strengthen_fds() {
+        // Pin the documented NULL semantics: every NULL of a column lands
+        // in the same equivalence class.
+        let mut b = RelationBuilder::new("n", &["X", "A"]);
+        b.push_row(&[None, Some("v1")]); // t0: X is NULL
+        b.push_row(&[None, Some("v1")]); // t1: X is NULL
+        b.push_row(&[Some("x1"), Some("v2")]);
+        b.push_row(&[Some("x2"), Some("v3")]);
+        let rel = b.build();
+
+        let px = StrippedPartition::of_attr(&rel, 0);
+        assert_eq!(px.classes, vec![vec![0, 1]], "NULLs group together");
+
+        // Because t0/t1 agree on X (both NULL) and on A, X → A holds …
+        let pa = StrippedPartition::of_attr(&rel, 1);
+        let pxa = px.product(&pa);
+        assert_eq!(px.error(), pxa.error(), "X → A holds with equal NULLs");
+
+        // … and an all-NULL column is a constant: ∅ → N holds.
+        let mut b = RelationBuilder::new("c", &["N", "K"]);
+        b.push_row(&[None, Some("k1")]);
+        b.push_row(&[None, Some("k2")]);
+        b.push_row(&[None, Some("k3")]);
+        let rel = b.build();
+        let pn = StrippedPartition::of_attr(&rel, 0);
+        let pe = StrippedPartition::of_empty(rel.n_tuples());
+        assert_eq!(pn.error(), pe.error(), "all-NULL column acts constant");
     }
 
     #[test]

@@ -1,16 +1,25 @@
 //! Agglomerative Information Bottleneck (Slonim & Tishby; Section 5.1).
 //!
 //! Starting from `q` singleton clusters, AIB performs `q-k` greedy merges,
-//! each time picking the pair with minimum information loss `δI`. We run
-//! it with a lazy-deletion binary heap: candidate pairs are pushed with
-//! their loss and validated against per-slot generation counters when
-//! popped, giving `O(q² log q)` time — the algorithm is *"quadratic in the
-//! number of objects"*, which is exactly why LIMBO applies it only to the
-//! DCF-tree leaves.
+//! each time picking the pair with minimum information loss `δI` — the
+//! algorithm is *"quadratic in the number of objects"*, which is exactly
+//! why LIMBO applies it only to the DCF-tree leaves.
+//!
+//! [`aib`] (and its threaded variant [`aib_with`]) maintains a per-slot
+//! nearest-neighbor cache: each alive slot remembers its best merge
+//! partner among the higher-numbered slots, and only those entries live
+//! in the candidate heap. The heap therefore holds `O(q)` entries instead
+//! of the `O(q²)` a lazy-deletion all-pairs heap accumulates, and after a
+//! merge only the slots whose cached partner was touched are rescanned.
+//! [`aib_reference`] keeps the original all-pairs lazy-deletion heap; the
+//! two produce **bit-identical** dendrograms (see the regression tests),
+//! because the cache recomputes every candidate loss with the same
+//! floating-point argument order the reference heap stored it with.
 
 use crate::dcf::Dcf;
 use crate::dendrogram::Dendrogram;
 use dbmine_infotheory::entropy;
+use std::cmp::Ordering;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -65,20 +74,67 @@ impl AibResult {
     }
 }
 
-/// A candidate merge: (loss, slot i, slot j, generation of i, generation
-/// of j). Entries with stale generations are skipped on pop.
-type MergeHeap = BinaryHeap<Reverse<(OrdLoss, usize, usize, u32, u32)>>;
-
-/// Total order on `f64` losses for the heap (NaN-free by construction).
-#[derive(PartialEq, PartialOrd)]
+/// Total order on `f64` losses for the heap. Uses [`f64::total_cmp`] so a
+/// NaN (which the finite-δI guards upstream should already prevent) sorts
+/// last instead of panicking mid-clustering.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
 struct OrdLoss(f64);
 impl Eq for OrdLoss {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for OrdLoss {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other)
-            .expect("information loss is never NaN")
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
     }
+}
+
+/// `(loss, partner)` comparison for one slot's candidate merges:
+/// lexicographic with `total_cmp` on the loss, smaller partner on ties.
+fn cand_lt(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)) == Ordering::Less
+}
+
+/// The candidate loss of merging slots `u` and `v`, recomputed with the
+/// exact floating-point argument order the reference all-pairs heap
+/// stored for this pair.
+///
+/// The reference implementation pushes a pair's loss either at
+/// initialization — `slots[i].distance(slots[j])` with `i < j` — or
+/// right after a merge, with the *just-merged survivor* as the first
+/// argument. The currently-valid entry for an alive pair is always the
+/// most recent push, so: the endpoint with the larger last-merged step
+/// goes first; if neither ever merged, the smaller index goes first.
+/// (`Dcf::distance` is mathematically symmetric, but summation order
+/// differs between argument orders, so bit-identity needs this rule.)
+fn pair_loss(slots: &[Option<Dcf>], last_merged: &[u32], u: usize, v: usize) -> f64 {
+    let (a, b) = (u.min(v), u.max(v));
+    let (first, second) = if last_merged[b] > last_merged[a] {
+        (b, a)
+    } else {
+        (a, b)
+    };
+    slots[first]
+        .as_ref()
+        .expect("pair_loss on dead slot")
+        .distance(slots[second].as_ref().expect("pair_loss on dead slot"))
+}
+
+/// Recomputes slot `u`'s best merge partner among the alive slots with a
+/// larger index. `alive_ids` must be sorted ascending.
+fn rescan(
+    slots: &[Option<Dcf>],
+    last_merged: &[u32],
+    alive_ids: &[usize],
+    u: usize,
+) -> Option<(f64, usize)> {
+    let from = alive_ids.partition_point(|&v| v <= u);
+    let mut best: Option<(f64, usize)> = None;
+    for &v in &alive_ids[from..] {
+        let d = pair_loss(slots, last_merged, u, v);
+        if best.is_none_or(|b| cand_lt((d, v), b)) {
+            best = Some((d, v));
+        }
+    }
+    best
 }
 
 /// Runs AIB on the given singleton/summary clusters until `k` clusters
@@ -101,12 +157,204 @@ impl Ord for OrdLoss {
 /// assert!(r.dendrogram.merges()[0].loss.abs() < 1e-12);
 /// ```
 pub fn aib(inputs: Vec<Dcf>, k: usize) -> AibResult {
+    aib_with(inputs, k, 1)
+}
+
+/// [`aib`] with an explicit thread count for the initial nearest-neighbor
+/// scan and the post-merge cache repairs (`1` = serial, `0` = all cores).
+///
+/// The result is bit-identical for every `threads` value: parallelism
+/// only changes wall-clock time.
+pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
     let q = inputs.len();
     let k = k.max(1);
     let mut dendro = Dendrogram::new(q);
     // slots[i]: current cluster in slot i (None once absorbed).
     let mut slots: Vec<Option<Dcf>> = inputs.into_iter().map(Some).collect();
     // node id (in the dendrogram) represented by each slot.
+    let mut node_of: Vec<usize> = (0..q).collect();
+
+    let initial_information = mutual_information_of(&slots);
+    let mut h_c = entropy(slots.iter().flatten().map(|c| c.weight));
+
+    if q == 0 || k >= q {
+        let (clusters, members): (Vec<Dcf>, Vec<Vec<usize>>) = slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (c, vec![i])))
+            .unzip();
+        return AibResult {
+            clusters,
+            members,
+            dendrogram: dendro,
+            initial_information,
+            stats: Vec::new(),
+        };
+    }
+
+    // Per-slot nearest-neighbor cache: best[u] is the minimum-key
+    // candidate (loss, partner) among alive partners with index > u, or
+    // None when no such partner exists. Every alive pair is covered by
+    // its smaller endpoint, and the globally best pair is necessarily
+    // the cached best of its smaller endpoint, so the heap below only
+    // ever needs one entry per slot — O(q) candidates, not O(q²).
+    let mut last_merged: Vec<u32> = vec![0; q];
+    let mut best: Vec<Option<(f64, usize)>> = {
+        let slots_ref = &slots;
+        dbmine_parallel::par_map_range(threads, q, |i| {
+            let mut b: Option<(f64, usize)> = None;
+            for (off, sj) in slots_ref[i + 1..].iter().enumerate() {
+                let j = i + 1 + off;
+                let d = slots_ref[i]
+                    .as_ref()
+                    .expect("all slots alive at init")
+                    .distance(sj.as_ref().expect("all slots alive at init"));
+                if b.is_none_or(|cur| cand_lt((d, j), cur)) {
+                    b = Some((d, j));
+                }
+            }
+            b
+        })
+    };
+
+    // Heap of per-slot best candidates: Reverse((loss, owner, partner,
+    // stamp)). An entry is valid iff the owner is alive and its stamp
+    // matches — the stamp is bumped whenever best[owner] is rewritten.
+    let mut stamp: Vec<u32> = vec![0; q];
+    let mut heap: BinaryHeap<Reverse<(OrdLoss, usize, usize, u32)>> =
+        BinaryHeap::with_capacity(2 * q);
+    for (u, b) in best.iter().enumerate() {
+        if let Some((d, p)) = *b {
+            heap.push(Reverse((OrdLoss(d), u, p, 0)));
+        }
+    }
+
+    let mut alive = q;
+    let mut alive_ids: Vec<usize> = (0..q).collect();
+    let mut members: Vec<Vec<usize>> = (0..q).map(|i| vec![i]).collect();
+    let mut stats = Vec::with_capacity(q - k);
+    let mut cum_loss = 0.0;
+    let mut merge_step: u32 = 0;
+
+    while alive > k {
+        let (loss, a, b) = loop {
+            let Reverse((OrdLoss(d), u, p, s)) = heap
+                .pop()
+                .expect("heap exhausted before reaching k clusters");
+            if slots[u].is_some() && stamp[u] == s {
+                debug_assert!(slots[p].is_some(), "cached partner died without repair");
+                break (d, u, p);
+            }
+        };
+
+        // Merge slot b into slot a (a < b by cache construction).
+        let cb = slots[b].take().expect("validated above");
+        let ca = slots[a].as_mut().expect("validated above");
+        let (wa, wb) = (ca.weight, cb.weight);
+        ca.merge_in_place(&cb);
+        let w_star = ca.weight;
+        merge_step += 1;
+        last_merged[a] = merge_step;
+        alive -= 1;
+        let pos = alive_ids.binary_search(&b).expect("b was alive");
+        alive_ids.remove(pos);
+
+        let node = dendro.push(node_of[a], node_of[b], loss);
+        node_of[a] = node;
+        let absorbed = std::mem::take(&mut members[b]);
+        members[a].extend(absorbed);
+
+        // Incremental H(C): replace the two masses with the merged one.
+        h_c = h_c - xlogx_safe(wa) - xlogx_safe(wb) + xlogx_safe(w_star);
+
+        cum_loss += loss;
+        let mi = (initial_information - cum_loss).max(0.0);
+        stats.push(KStat {
+            k: alive,
+            cumulative_loss: cum_loss,
+            mutual_information: mi,
+            cluster_entropy: h_c,
+            conditional_entropy: (h_c - mi).max(0.0),
+        });
+
+        // Repair the caches. Only three kinds of slot are affected:
+        //  * slot a itself (its cluster changed): full rescan;
+        //  * slots whose cached partner was a or b (their candidate's
+        //    loss changed, or its partner died): full rescan;
+        //  * slots u < a otherwise: the pair (u, a) got a new loss, so a
+        //    single compare against the cached best suffices.
+        // Everything else is untouched. Each repair decision reads only
+        // pre-merge caches and post-merge slots, so they run in parallel;
+        // `None` = no change.
+        if alive > k {
+            let (slots_ref, best_ref, lm_ref, ids_ref) = (&slots, &best, &last_merged, &alive_ids);
+            let updates: Vec<Option<Option<(f64, usize)>>> =
+                dbmine_parallel::par_map(threads, ids_ref, |_, &u| {
+                    let cached = best_ref[u];
+                    if u == a || cached.is_some_and(|(_, p)| p == a || p == b) {
+                        Some(rescan(slots_ref, lm_ref, ids_ref, u))
+                    } else if u < a {
+                        let d = pair_loss(slots_ref, lm_ref, u, a);
+                        if cached.is_none_or(|cur| cand_lt((d, a), cur)) {
+                            Some(Some((d, a)))
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                });
+            for (&u, upd) in alive_ids.iter().zip(updates) {
+                if let Some(new_best) = upd {
+                    best[u] = new_best;
+                    stamp[u] = stamp[u].wrapping_add(1);
+                    if let Some((d, p)) = new_best {
+                        heap.push(Reverse((OrdLoss(d), u, p, stamp[u])));
+                    }
+                }
+            }
+            // Stale entries accumulate slowly (one push per cache
+            // rewrite); rebuild from the live caches before they can
+            // outgrow O(q).
+            if heap.len() > 4 * q + 16 {
+                heap.clear();
+                for &u in &alive_ids {
+                    if let Some((d, p)) = best[u] {
+                        heap.push(Reverse((OrdLoss(d), u, p, stamp[u])));
+                    }
+                }
+            }
+        }
+    }
+
+    let (clusters, final_members): (Vec<Dcf>, Vec<Vec<usize>>) = slots
+        .into_iter()
+        .zip(members)
+        .filter_map(|(c, m)| c.map(|c| (c, m)))
+        .unzip();
+
+    AibResult {
+        clusters,
+        members: final_members,
+        dendrogram: dendro,
+        initial_information,
+        stats,
+    }
+}
+
+/// The original lazy-deletion all-pairs heap implementation, kept as the
+/// bit-identity oracle for [`aib`] (and for the old-vs-new benchmark).
+///
+/// Candidate pairs are pushed with their loss and validated against
+/// per-slot generation counters when popped, giving `O(q² log q)` time
+/// and an `O(q²)`-entry heap.
+pub fn aib_reference(inputs: Vec<Dcf>, k: usize) -> AibResult {
+    /// Reference-heap entry: `(loss, i, j, gen_i, gen_j)` in a min-heap.
+    type RefEntry = Reverse<(OrdLoss, usize, usize, u32, u32)>;
+    let q = inputs.len();
+    let k = k.max(1);
+    let mut dendro = Dendrogram::new(q);
+    let mut slots: Vec<Option<Dcf>> = inputs.into_iter().map(Some).collect();
     let mut node_of: Vec<usize> = (0..q).collect();
     // generation counter: entries referencing an older generation are stale.
     let mut gen: Vec<u32> = vec![0; q];
@@ -129,8 +377,8 @@ pub fn aib(inputs: Vec<Dcf>, k: usize) -> AibResult {
         };
     }
 
-    // Heap of candidate merges: Reverse((loss, i, j, gen_i, gen_j)).
-    let mut heap: MergeHeap = BinaryHeap::with_capacity(q * (q - 1) / 2);
+    // Heap of candidate merges.
+    let mut heap: BinaryHeap<RefEntry> = BinaryHeap::with_capacity(q * (q - 1) / 2);
     for i in 0..q {
         for j in (i + 1)..q {
             let d = slots[i]
@@ -171,7 +419,6 @@ pub fn aib(inputs: Vec<Dcf>, k: usize) -> AibResult {
         let absorbed = std::mem::take(&mut members[j]);
         members[i].extend(absorbed);
 
-        // Incremental H(C): replace the two masses with the merged one.
         h_c = h_c - xlogx_safe(wi) - xlogx_safe(wj) + xlogx_safe(w_star);
 
         cum_loss += loss;
@@ -236,6 +483,7 @@ fn mutual_information_of(slots: &[Option<Dcf>]) -> f64 {
 mod tests {
     use super::*;
     use dbmine_infotheory::SparseDist;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn d(pairs: &[(u32, f64)]) -> SparseDist {
         SparseDist::from_pairs(pairs.to_vec())
@@ -249,6 +497,53 @@ mod tests {
             Dcf::singleton(1.0 / 3.0, d(&[(0, 0.4), (1, 0.6)])),
             Dcf::singleton(1.0 / 3.0, d(&[(1, 1.0)])),
         ]
+    }
+
+    /// Random DCF inputs exercising duplicates, overlapping supports and
+    /// uneven masses.
+    fn random_inputs(rng: &mut StdRng, q: usize) -> Vec<Dcf> {
+        let universe = 2 + (q / 2) as u32;
+        (0..q)
+            .map(|_| {
+                let support = rng.gen_range(1usize..=4);
+                let pairs: Vec<(u32, f64)> = (0..support)
+                    .map(|_| (rng.gen_range(0..universe), rng.gen_range(0.05f64..1.0)))
+                    .collect();
+                let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+                let pairs = pairs.into_iter().map(|(i, w)| (i, w / total)).collect();
+                Dcf::singleton(1.0 / q as f64, SparseDist::from_pairs(pairs))
+            })
+            .collect()
+    }
+
+    /// Asserts two AIB results are bit-identical: same merges with
+    /// bit-equal losses, same members, bit-equal stats and weights.
+    fn assert_bit_identical(x: &AibResult, y: &AibResult) {
+        assert_eq!(x.dendrogram.merges().len(), y.dendrogram.merges().len());
+        for (mx, my) in x.dendrogram.merges().iter().zip(y.dendrogram.merges()) {
+            assert_eq!((mx.left, mx.right), (my.left, my.right));
+            assert_eq!(mx.loss.to_bits(), my.loss.to_bits(), "loss bits differ");
+        }
+        assert_eq!(x.members, y.members);
+        assert_eq!(
+            x.initial_information.to_bits(),
+            y.initial_information.to_bits()
+        );
+        assert_eq!(x.stats.len(), y.stats.len());
+        for (sx, sy) in x.stats.iter().zip(&y.stats) {
+            assert_eq!(sx.k, sy.k);
+            assert_eq!(sx.cumulative_loss.to_bits(), sy.cumulative_loss.to_bits());
+            assert_eq!(
+                sx.mutual_information.to_bits(),
+                sy.mutual_information.to_bits()
+            );
+            assert_eq!(sx.cluster_entropy.to_bits(), sy.cluster_entropy.to_bits());
+        }
+        assert_eq!(x.clusters.len(), y.clusters.len());
+        for (cx, cy) in x.clusters.iter().zip(&y.clusters) {
+            assert_eq!(cx.weight.to_bits(), cy.weight.to_bits());
+            assert_eq!(cx.count, cy.count);
+        }
     }
 
     #[test]
@@ -276,6 +571,71 @@ mod tests {
             merges[1].loss
         );
         assert!((r.dendrogram.max_loss() - 0.5155).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nn_cache_matches_reference_on_figure9() {
+        for k in 1..=3 {
+            let fast = aib(figure9_inputs(), k);
+            let slow = aib_reference(figure9_inputs(), k);
+            assert_bit_identical(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn nn_cache_matches_reference_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _trial in 0..30 {
+            let q = rng.gen_range(2usize..=40);
+            let k = rng.gen_range(1usize..=q);
+            let inputs = random_inputs(&mut rng, q);
+            let fast = aib(inputs.clone(), k);
+            let slow = aib_reference(inputs, k);
+            assert_bit_identical(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn nn_cache_matches_reference_with_duplicate_objects() {
+        // Heavy ties: many identical objects force the tie-breaking rule
+        // (smaller slot pair first) to decide every merge.
+        let inputs: Vec<Dcf> = (0..12u32)
+            .map(|i| Dcf::singleton(1.0 / 12.0, d(&[(i % 3, 1.0)])))
+            .collect();
+        for k in [1, 2, 3, 5] {
+            let fast = aib(inputs.clone(), k);
+            let slow = aib_reference(inputs.clone(), k);
+            assert_bit_identical(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Large enough that the parallel paths actually engage
+        // (par_map falls back to serial under 128 items).
+        let mut rng = StdRng::seed_from_u64(7);
+        let inputs = random_inputs(&mut rng, 300);
+        let serial = aib_with(inputs.clone(), 4, 1);
+        for threads in [0, 2, 3, 8] {
+            let parallel = aib_with(inputs.clone(), 4, threads);
+            assert_bit_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn zero_weight_clusters_merge_without_panic() {
+        // Zero-mass DCFs make δI = 0 candidates; the total_cmp ordering
+        // and the merge_information_loss zero-mass guard must keep the
+        // clustering NaN-free end to end.
+        let inputs = vec![
+            Dcf::singleton(0.0, d(&[(0, 1.0)])),
+            Dcf::singleton(0.0, d(&[(1, 1.0)])),
+            Dcf::singleton(1.0, d(&[(2, 1.0)])),
+        ];
+        let r = aib(inputs.clone(), 1);
+        assert_eq!(r.clusters.len(), 1);
+        assert!(r.dendrogram.merges().iter().all(|m| m.loss.is_finite()));
+        assert_bit_identical(&r, &aib_reference(inputs, 1));
     }
 
     #[test]

@@ -28,10 +28,21 @@ pub fn assign_all<'a>(
     objects: impl IntoIterator<Item = &'a Dcf>,
     reps: &[Dcf],
 ) -> Vec<(usize, f64)> {
-    objects
-        .into_iter()
-        .map(|o| nearest(o, reps).expect("assignment requires at least one representative"))
-        .collect()
+    assign_all_with(objects, reps, 1)
+}
+
+/// [`assign_all`] with an explicit thread count (`1` = serial, `0` = all
+/// cores). Each object's assignment is independent, so the result is
+/// bit-identical for every thread count.
+pub fn assign_all_with<'a>(
+    objects: impl IntoIterator<Item = &'a Dcf>,
+    reps: &[Dcf],
+    threads: usize,
+) -> Vec<(usize, f64)> {
+    let objects: Vec<&Dcf> = objects.into_iter().collect();
+    dbmine_parallel::par_map(threads, &objects, |_, o| {
+        nearest(o, reps).expect("assignment requires at least one representative")
+    })
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ pub mod assign;
 pub mod dcf;
 pub mod dendrogram;
 
-pub use aib::{aib, AibResult, KStat};
-pub use assign::{assign_all, nearest};
+pub use aib::{aib, aib_reference, aib_with, AibResult, KStat};
+pub use assign::{assign_all, assign_all_with, nearest};
 pub use dcf::Dcf;
 pub use dendrogram::{Dendrogram, Merge};

@@ -22,8 +22,8 @@ pub mod measures;
 pub mod sparse;
 
 pub use measures::{
-    conditional_entropy, entropy, entropy_of, js_divergence, kl_divergence, merge_information_loss,
-    mutual_information, uniform_entropy,
+    conditional_entropy, entropy, entropy_of, js_divergence, js_divergence_merged, kl_divergence,
+    merge_information_loss, mutual_information, uniform_entropy,
 };
 pub use sparse::SparseDist;
 

@@ -97,14 +97,26 @@ pub fn js_divergence(p: &SparseDist, pi_p: f64, q: &SparseDist, pi_q: f64) -> f6
     // so when one vector is much smaller we only need to walk the small
     // one: the big vector's non-overlapping mass contributes in aggregate.
     let (pe, qe) = (p.entries(), q.entries());
-    let log_inv_pi_p = -pi_p.log2();
-    let log_inv_pi_q = -pi_q.log2();
     if pe.len() * 16 < qe.len() {
         return js_asymmetric(p, pi_p, q, pi_q).max(0.0);
     }
     if qe.len() * 16 < pe.len() {
         return js_asymmetric(q, pi_q, p, pi_p).max(0.0);
     }
+    js_divergence_merged(p, pi_p, q, pi_q)
+}
+
+/// [`js_divergence`] computed with the merged two-pointer pass only —
+/// never the [`js_asymmetric`] shortcut. Exposed so tests can cross-check
+/// the shortcut against the reference pass; results agree to within
+/// floating-point summation-order jitter (≈1e-12), not bit-exactly.
+pub fn js_divergence_merged(p: &SparseDist, pi_p: f64, q: &SparseDist, pi_q: f64) -> f64 {
+    if pi_p == 0.0 || pi_q == 0.0 {
+        return 0.0;
+    }
+    let (pe, qe) = (p.entries(), q.entries());
+    let log_inv_pi_p = -pi_p.log2();
+    let log_inv_pi_q = -pi_q.log2();
 
     // One merged pass: every index in the union contributes
     //   πp·p·log(p/p̄) + πq·q·log(q/p̄)  with p̄ = πp·p + πq·q.
@@ -184,10 +196,19 @@ pub fn merge_information_loss(
     cond_j: &SparseDist,
 ) -> f64 {
     let p_star = p_ci + p_cj;
-    if p_star <= 0.0 {
+    if p_star <= 0.0 || !p_star.is_finite() {
         return 0.0;
     }
-    p_star * js_divergence(cond_i, p_ci / p_star, cond_j, p_cj / p_star)
+    let loss = p_star * js_divergence(cond_i, p_ci / p_star, cond_j, p_cj / p_star);
+    // JS is bounded, so a non-finite δI can only come from corrupt inputs
+    // (NaN weights or conditionals). Treating it as a free merge keeps the
+    // clustering total orders (total_cmp) well-behaved instead of letting
+    // one bad row poison every comparison downstream.
+    if loss.is_finite() {
+        loss
+    } else {
+        0.0
+    }
 }
 
 #[cfg(test)]
@@ -329,5 +350,25 @@ mod tests {
     fn merge_loss_zero_total_mass() {
         let p = SparseDist::singleton(0);
         assert_eq!(merge_information_loss(0.0, &p, 0.0, &p), 0.0);
+    }
+
+    #[test]
+    fn merge_loss_non_finite_weights_are_free() {
+        // Corrupt weights must not produce a NaN that poisons every
+        // comparison downstream (the clusterers order merges by δI).
+        let p = dist(&[(0, 0.5), (1, 0.5)]);
+        let q = dist(&[(2, 1.0)]);
+        assert_eq!(merge_information_loss(f64::NAN, &p, 0.5, &q), 0.0);
+        assert_eq!(merge_information_loss(0.5, &p, f64::INFINITY, &q), 0.0);
+    }
+
+    #[test]
+    fn merged_pass_matches_dispatching_entry_point() {
+        let p = dist(&[(0, 0.4), (1, 0.6)]);
+        let q = dist(&[(1, 0.1), (2, 0.9)]);
+        let a = js_divergence(&p, 0.3, &q, 0.7);
+        let b = js_divergence_merged(&p, 0.3, &q, 0.7);
+        // Same-sized supports dispatch to the merged pass: bit-identical.
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -1,14 +1,40 @@
 //! Property-based tests for the information-theory kernel.
 
 use dbmine_infotheory::{
-    entropy_of, js_divergence, kl_divergence, merge_information_loss, mutual_information,
-    uniform_entropy, SparseDist,
+    entropy_of, js_divergence, js_divergence_merged, kl_divergence, merge_information_loss,
+    mutual_information, uniform_entropy, SparseDist,
 };
 use proptest::prelude::*;
 
 /// Strategy: a random normalized sparse distribution over indices `0..32`.
 fn arb_dist() -> impl Strategy<Value = SparseDist> {
     proptest::collection::vec((0u32..32, 0.01f64..1.0), 1..12).prop_map(|pairs| {
+        let mut d = SparseDist::from_pairs(pairs);
+        d.normalize();
+        d
+    })
+}
+
+/// Strategy: a tiny distribution (≤ 3 support points) over a universe wide
+/// enough that it rarely overlaps much with [`arb_wide_dist`].
+fn arb_tiny_dist() -> impl Strategy<Value = SparseDist> {
+    proptest::collection::vec((0u32..256, 0.01f64..1.0), 1..4).prop_map(|pairs| {
+        let mut d = SparseDist::from_pairs(pairs);
+        d.normalize();
+        d
+    })
+}
+
+/// Strategy: a distribution with at least 100 support points, guaranteeing
+/// `js_divergence` takes the asymmetric (small-side walk) shortcut against
+/// any [`arb_tiny_dist`] (3 · 16 < 100).
+fn arb_wide_dist() -> impl Strategy<Value = SparseDist> {
+    proptest::collection::vec(0.01f64..1.0, 100..160).prop_map(|weights| {
+        let pairs = weights
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| (i as u32, w))
+            .collect();
         let mut d = SparseDist::from_pairs(pairs);
         d.normalize();
         d
@@ -81,6 +107,24 @@ proptest! {
         prop_assert!(i_after <= i_before + 1e-9);
         prop_assert!(((i_before - i_after) - delta).abs() < 1e-7,
             "ΔI = {} but δI = {delta}", i_before - i_after);
+    }
+
+    /// The asymmetric small-side shortcut must agree with the reference
+    /// merged two-pointer pass to within summation-order jitter.
+    #[test]
+    fn js_asymmetric_shortcut_matches_merged_pass(
+        small in arb_tiny_dist(), big in arb_wide_dist(), w in 0.05f64..0.95
+    ) {
+        prop_assert!(small.support() * 16 < big.support(), "shortcut not taken");
+        let fast = js_divergence(&small, w, &big, 1.0 - w);
+        let reference = js_divergence_merged(&small, w, &big, 1.0 - w);
+        prop_assert!(
+            (fast - reference).abs() < 1e-12,
+            "asymmetric {fast} vs merged {reference}"
+        );
+        // And with the big side first, exercising the flipped dispatch.
+        let flipped = js_divergence(&big, 1.0 - w, &small, w);
+        prop_assert!((flipped - reference).abs() < 1e-12);
     }
 
     #[test]

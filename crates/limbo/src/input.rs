@@ -15,11 +15,18 @@ use dbmine_relation::{Relation, TupleRows, ValueIndex};
 
 /// Singleton DCFs for every tuple of the relation (matrix `M` rows).
 pub fn tuple_dcfs(rel: &Relation) -> Vec<Dcf> {
+    tuple_dcfs_with(rel, 1)
+}
+
+/// [`tuple_dcfs`] with an explicit thread count (`1` = serial, `0` = all
+/// cores). Each tuple's DCF is built independently, so the result is
+/// bit-identical for every thread count.
+pub fn tuple_dcfs_with(rel: &Relation, threads: usize) -> Vec<Dcf> {
     let rows = TupleRows::build(rel);
     let p = rows.prior();
-    (0..rows.len())
-        .map(|t| Dcf::singleton(p, rows.row(t).clone()))
-        .collect()
+    dbmine_parallel::par_map_range(threads, rows.len(), |t| {
+        Dcf::singleton(p, rows.row(t).clone())
+    })
 }
 
 /// Singleton ADCFs for every distinct value of the relation: the `N` row
@@ -28,10 +35,16 @@ pub fn tuple_dcfs(rel: &Relation) -> Vec<Dcf> {
 /// Returned in the same order as `index.values()`, so object `i`
 /// corresponds to value id `index.value_id(i)`.
 pub fn value_dcfs(index: &ValueIndex) -> Vec<Dcf> {
+    value_dcfs_with(index, 1)
+}
+
+/// [`value_dcfs`] with an explicit thread count (`1` = serial, `0` = all
+/// cores). Bit-identical to the serial construction for every count.
+pub fn value_dcfs_with(index: &ValueIndex, threads: usize) -> Vec<Dcf> {
     let p = index.prior();
-    (0..index.len())
-        .map(|i| Dcf::singleton_with_aux(p, index.n_row(i), index.o_row(i).clone()))
-        .collect()
+    dbmine_parallel::par_map_range(threads, index.len(), |i| {
+        Dcf::singleton_with_aux(p, index.n_row(i), index.o_row(i).clone())
+    })
 }
 
 /// Singleton DCFs for attributes expressed over duplicate value groups.

@@ -26,6 +26,8 @@ pub mod pipeline;
 pub mod tree;
 
 pub use double::reexpress_over_clusters;
-pub use input::{attribute_dcfs, tuple_dcfs, value_dcfs};
-pub use pipeline::{phase1, phase2, phase3, run, Limbo, LimboModel, LimboParams};
+pub use input::{attribute_dcfs, tuple_dcfs, tuple_dcfs_with, value_dcfs, value_dcfs_with};
+pub use pipeline::{
+    phase1, phase2, phase2_with, phase3, phase3_with, run, Limbo, LimboModel, LimboParams,
+};
 pub use tree::DcfTree;

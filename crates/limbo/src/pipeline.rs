@@ -1,7 +1,7 @@
 //! The three-phase LIMBO pipeline.
 
 use crate::tree::DcfTree;
-use dbmine_ib::{aib, assign_all, AibResult, Dcf};
+use dbmine_ib::{aib_with, assign_all, assign_all_with, AibResult, Dcf};
 
 /// LIMBO tuning parameters.
 #[derive(Clone, Copy, Debug)]
@@ -13,6 +13,10 @@ pub struct LimboParams {
     /// DCF-tree branching factor `B`. The paper observed `B` barely
     /// affects quality and uses `B = 4`.
     pub branching: usize,
+    /// Worker threads for the parallelizable stages (Phase 2 candidate
+    /// search and Phase 3 assignment). `1` = serial, `0` = all cores.
+    /// Results are bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for LimboParams {
@@ -20,6 +24,7 @@ impl Default for LimboParams {
         LimboParams {
             phi: 0.0,
             branching: 4,
+            threads: 1,
         }
     }
 }
@@ -31,6 +36,11 @@ impl LimboParams {
             phi,
             ..Default::default()
         }
+    }
+
+    /// The same parameters with `threads` worker threads.
+    pub fn threads(self, threads: usize) -> Self {
+        LimboParams { threads, ..self }
     }
 }
 
@@ -132,7 +142,13 @@ pub fn phase1(
 
 /// Phase 2: AIB over the Phase 1 leaves down to `k` clusters.
 pub fn phase2(model: &LimboModel, k: usize) -> AibResult {
-    aib(model.leaves.clone(), k)
+    phase2_with(model, k, 1)
+}
+
+/// [`phase2`] with an explicit thread count (`1` = serial, `0` = all
+/// cores). Bit-identical to the serial run for every thread count.
+pub fn phase2_with(model: &LimboModel, k: usize, threads: usize) -> AibResult {
+    aib_with(model.leaves.clone(), k, threads)
 }
 
 /// Phase 3: assigns each original object to its closest representative.
@@ -141,6 +157,16 @@ pub fn phase3<'a>(
     clustering: &AibResult,
 ) -> Vec<(usize, f64)> {
     assign_all(objects, &clustering.clusters)
+}
+
+/// [`phase3`] with an explicit thread count (`1` = serial, `0` = all
+/// cores). Bit-identical to the serial run for every thread count.
+pub fn phase3_with<'a>(
+    objects: impl IntoIterator<Item = &'a Dcf>,
+    clustering: &AibResult,
+    threads: usize,
+) -> Vec<(usize, f64)> {
+    assign_all_with(objects, &clustering.clusters, threads)
 }
 
 /// Runs all three phases over an in-memory object list.
@@ -162,8 +188,8 @@ pub fn run(objects: &[Dcf], mutual_information: f64, k: usize, params: LimboPara
         objects.len(),
         params,
     );
-    let clustering = phase2(&model, k);
-    let assignments = phase3(objects.iter(), &clustering);
+    let clustering = phase2_with(&model, k, params.threads);
+    let assignments = phase3_with(objects.iter(), &clustering, params.threads);
     Limbo {
         model,
         clustering,

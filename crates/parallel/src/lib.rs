@@ -1,0 +1,130 @@
+//! Opt-in data parallelism for the clustering hot paths.
+//!
+//! The build environment cannot fetch `rayon`, so this crate provides
+//! the few primitives the workspace needs on top of plain
+//! [`std::thread::scope`]: deterministic, order-preserving parallel maps
+//! over index ranges and slices. Every function takes an explicit
+//! `threads` knob:
+//!
+//! * `threads == 1` — run serially on the calling thread (the default
+//!   everywhere; zero overhead, no behavior change);
+//! * `threads == 0` — use [`std::thread::available_parallelism`];
+//! * `threads >= 2` — split the input into `threads` contiguous chunks
+//!   and process them on scoped worker threads.
+//!
+//! Because each element's result is a pure function of the element and
+//! results are written back by index, output is **bit-identical for
+//! every thread count** — parallelism changes wall-clock time only.
+//! Work is chunked contiguously (not striped) so workers touch disjoint
+//! cache lines and the per-thread iteration order matches the serial
+//! order within each chunk.
+
+/// Resolves a user-facing thread knob: `0` means "all available cores",
+/// anything else is taken literally (minimum 1).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Below this many items per worker, threading overhead dominates and
+/// the maps fall back to serial execution.
+const MIN_ITEMS_PER_THREAD: usize = 64;
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// `f` must be pure (same input → same output) for the determinism
+/// guarantee to hold; all workspace call sites satisfy this.
+pub fn par_map_range<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(n.max(1));
+    if threads <= 1 || n < 2 * MIN_ITEMS_PER_THREAD {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        // Hand each worker a disjoint &mut window of the output buffer.
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut start = 0usize;
+        while start < n {
+            let len = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let lo = start;
+            scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(lo + off));
+                }
+            });
+            start += len;
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Maps `f(index, &item)` over a slice, returning results in order.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_range(threads, items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let serial = par_map(1, &items, |i, &x| x * x + i as u64);
+        for threads in [0, 2, 3, 7, 16] {
+            let parallel = par_map(threads, &items, |i, &x| x * x + i as u64);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_serial_but_correct() {
+        let out = par_map_range(8, 5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = par_map_range(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = par_map_range(4, 1_000, |i| i);
+        assert_eq!(out, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_copy_results() {
+        let out = par_map_range(3, 300, |i| vec![i; 3]);
+        assert!(out.iter().enumerate().all(|(i, v)| v == &vec![i; 3]));
+    }
+}

@@ -1,8 +1,10 @@
 //! The paper's probabilistic views of a relation (Sections 4 and 6).
 //!
 //! * **Tuple matrix `M`** (Figure 2): row `t` is the conditional
-//!   distribution `p(V|t)` — uniform mass `1/m` on each value the tuple
-//!   contains, with `p(t) = 1/n`. Exposed by [`TupleRows`].
+//!   distribution `p(V|t)` — uniform mass `1/m` on each (attribute,
+//!   value) cell of the tuple, with `p(t) = 1/n`. Exposed by
+//!   [`TupleRows`]; feature keys are attribute-qualified to honor the
+//!   paper's assumption that attribute value sets are disjoint.
 //! * **Value matrix `N`** (Figures 3/6, left): row `v` is `p(T|v)` —
 //!   uniform mass `1/dv` on each of the `dv` tuples containing `v`, with
 //!   `p(v) = 1/d`. Exposed by [`ValueIndex`].
@@ -15,9 +17,20 @@ use crate::dict::ValueId;
 use crate::relation::Relation;
 use dbmine_infotheory::{mutual_information, SparseDist};
 
-/// The tuple view of a relation: `p(t) = 1/n`, `p(V|t)` uniform on the
-/// tuple's values (with multiplicity: a value occurring in `k` attributes
-/// of the tuple gets mass `k/m`, so each row still sums to one).
+/// The tuple view of a relation: `p(t) = 1/n`, `p(V|t)` uniform mass
+/// `1/m` on each of the tuple's `m` cells.
+///
+/// The paper assumes the value sets of distinct attributes are disjoint
+/// (Section 2 — values can always be made so by prefixing the attribute
+/// name). The dictionary interns by string *globally*, so this view
+/// qualifies every cell by its attribute when forming feature keys:
+/// `Volume = "3"` and `Number = "3"` are different features, and — most
+/// importantly — `BookTitle = NULL` and `Journal = NULL` are different
+/// features. Without the qualification, every NULL in every attribute
+/// collapses onto one shared feature, which drags NULL-containing tuples
+/// of *different* types together and visibly corrupts tuple clustering
+/// (duplicate detection, horizontal partitioning) on sparse relations
+/// like DBLP.
 #[derive(Clone, Debug)]
 pub struct TupleRows {
     rows: Vec<SparseDist>,
@@ -25,14 +38,21 @@ pub struct TupleRows {
 }
 
 impl TupleRows {
-    /// Builds `p(V|t)` for every tuple of `rel`.
+    /// Builds `p(V|t)` for every tuple of `rel`, with attribute-qualified
+    /// feature keys.
     pub fn build(rel: &Relation) -> Self {
-        let m = rel.n_attrs() as f64;
+        let m = rel.n_attrs();
+        let stride = rel.dict().len() as u64;
+        assert!(
+            stride * m.max(1) as u64 <= u64::from(u32::MAX) + 1,
+            "attribute-qualified value keys exceed the u32 feature space"
+        );
+        let mass = 1.0 / m as f64;
         let rows = (0..rel.n_tuples())
             .map(|t| {
                 SparseDist::from_pairs(
-                    (0..rel.n_attrs())
-                        .map(|a| (rel.value(t, a), 1.0 / m))
+                    (0..m)
+                        .map(|a| (a as u32 * stride as u32 + rel.value(t, a), mass))
                         .collect(),
                 )
             })
@@ -206,13 +226,44 @@ mod tests {
 
     #[test]
     fn tuple_rows_sum_to_one_with_duplicate_values() {
-        // A tuple holding the same global value twice still sums to 1.
+        // The same string in two attributes is two *different* features
+        // (the paper's disjoint-value-sets assumption, Section 2); the
+        // row still sums to 1.
         let mut b = crate::relation::RelationBuilder::new("t", &["X", "Y"]);
         b.push_row_strs(&["same", "same"]);
         let rel = b.build();
         let rows = TupleRows::build(&rel);
-        assert_eq!(rows.row(0).support(), 1);
+        assert_eq!(rows.row(0).support(), 2);
         assert!((rows.row(0).total() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn tuple_rows_distinguish_nulls_per_attribute() {
+        // A tuple NULL in X and one NULL in Y share *no* feature: NULL is
+        // not one global value in the tuple view.
+        let mut b = crate::relation::RelationBuilder::new("t", &["X", "Y"]);
+        b.push_row(&[None, Some("v")]);
+        b.push_row(&[Some("w"), None]);
+        let rel = b.build();
+        let rows = TupleRows::build(&rel);
+        let shared = rows
+            .row(0)
+            .iter()
+            .filter(|&(k, _)| rows.row(1).get(k) > 0.0)
+            .count();
+        assert_eq!(shared, 0);
+        // ... while two tuples NULL in the same attribute do share it.
+        let mut b2 = crate::relation::RelationBuilder::new("t", &["X", "Y"]);
+        b2.push_row(&[None, Some("v")]);
+        b2.push_row(&[None, Some("u")]);
+        let rel2 = b2.build();
+        let rows2 = TupleRows::build(&rel2);
+        let shared2 = rows2
+            .row(0)
+            .iter()
+            .filter(|&(k, _)| rows2.row(1).get(k) > 0.0)
+            .count();
+        assert_eq!(shared2, 1);
     }
 
     #[test]

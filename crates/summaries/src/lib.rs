@@ -25,7 +25,10 @@ pub mod vertical;
 
 pub use attributes::{group_attributes, AttributeGrouping};
 pub use dedupe::{eliminate_duplicates, DedupeResult};
-pub use partition::{horizontal_partition, suggest_k, PartitionResult};
-pub use tuples::{find_duplicate_tuples, tuple_summary_assignment, DuplicateReport, TupleGroup};
-pub use values::{cluster_values, ValueClustering, ValueGroup};
+pub use partition::{horizontal_partition, horizontal_partition_with, suggest_k, PartitionResult};
+pub use tuples::{
+    find_duplicate_tuples, find_duplicate_tuples_with, tuple_summary_assignment,
+    tuple_summary_assignment_with, DuplicateReport, TupleGroup,
+};
+pub use values::{cluster_values, cluster_values_with, ValueClustering, ValueGroup};
 pub use vertical::{vertical_partition, VerticalPartition};

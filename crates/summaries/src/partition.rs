@@ -6,7 +6,7 @@
 //! derivatives, and Phase 3-assign every tuple.
 
 use dbmine_ib::KStat;
-use dbmine_limbo::{phase1, phase2, phase3, tuple_dcfs, LimboParams};
+use dbmine_limbo::{phase1, phase2_with, phase3_with, tuple_dcfs_with, LimboParams};
 use dbmine_relation::{Relation, TupleRows};
 
 /// The outcome of horizontal partitioning.
@@ -88,25 +88,33 @@ pub fn horizontal_partition(
     k: Option<usize>,
     max_k: usize,
 ) -> PartitionResult {
-    let objects = tuple_dcfs(rel);
+    horizontal_partition_with(rel, LimboParams::with_phi(phi_t), k, max_k)
+}
+
+/// As [`horizontal_partition`], with full control over the LIMBO
+/// parameters (notably `params.threads` for the parallel Phase 2/3).
+/// Bit-identical to the serial run for every thread count.
+pub fn horizontal_partition_with(
+    rel: &Relation,
+    params: LimboParams,
+    k: Option<usize>,
+    max_k: usize,
+) -> PartitionResult {
+    let threads = params.threads;
+    let objects = tuple_dcfs_with(rel, threads);
     let mi = TupleRows::build(rel).mutual_information();
-    let model = phase1(
-        objects.iter().cloned(),
-        mi,
-        objects.len(),
-        LimboParams::with_phi(phi_t),
-    );
+    let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
     let n_summaries = model.leaves.len();
 
     // Full clustering (down to one cluster) to obtain all k statistics.
-    let full = phase2(&model, 1);
+    let full = phase2_with(&model, 1, threads);
     let chosen_k = k
         .unwrap_or_else(|| suggest_k(&full.stats, max_k))
         .clamp(1, n_summaries.max(1));
 
     // Re-cluster the summaries to the chosen k and assign all tuples.
-    let clustering = phase2(&model, chosen_k);
-    let assignments = phase3(objects.iter(), &clustering);
+    let clustering = phase2_with(&model, chosen_k, threads);
+    let assignments = phase3_with(objects.iter(), &clustering, threads);
 
     let mut partitions = vec![Vec::new(); clustering.clusters.len()];
     for (t, &(c, _)) in assignments.iter().enumerate() {

@@ -11,8 +11,8 @@
 //! The tuples associated with the same summary are candidate (almost)
 //! duplicates, presented to the analyst with their association losses.
 
-use dbmine_ib::{nearest, Dcf};
-use dbmine_limbo::{phase1, tuple_dcfs, LimboParams};
+use dbmine_ib::{assign_all_with, Dcf};
+use dbmine_limbo::{phase1, tuple_dcfs_with, LimboParams};
 use dbmine_relation::{Relation, TupleRows};
 
 /// A candidate duplicate group: the tuples Phase 3 associated with one
@@ -92,7 +92,7 @@ pub fn find_duplicate_tuples(rel: &Relation, phi_t: f64) -> DuplicateReport {
 /// As [`find_duplicate_tuples`], with full control over LIMBO parameters.
 pub fn find_duplicate_tuples_with(rel: &Relation, params: LimboParams) -> DuplicateReport {
     let n = rel.n_tuples();
-    let objects = tuple_dcfs(rel);
+    let objects = tuple_dcfs_with(rel, params.threads);
     let mi = TupleRows::build(rel).mutual_information();
     let model = phase1(objects.iter().cloned(), mi, n, params);
 
@@ -114,8 +114,8 @@ pub fn find_duplicate_tuples_with(rel: &Relation, params: LimboParams) -> Duplic
         .collect();
 
     if !multi.is_empty() {
-        for (t, obj) in objects.iter().enumerate() {
-            let (idx, loss) = nearest(obj, &multi).expect("non-empty summaries");
+        let assignments = assign_all_with(objects.iter(), &multi, params.threads);
+        for (t, (idx, loss)) in assignments.into_iter().enumerate() {
             groups[idx].tuples.push(t);
             groups[idx].losses.push(loss);
         }
@@ -134,18 +134,25 @@ pub fn find_duplicate_tuples_with(rel: &Relation, params: LimboParams) -> Duplic
 /// Clustering (Section 6.2) re-expresses values over. Returns the
 /// assignment (one cluster id per tuple) and the number of summaries.
 pub fn tuple_summary_assignment(rel: &Relation, phi_t: f64) -> (Vec<usize>, usize) {
-    let objects = tuple_dcfs(rel);
+    tuple_summary_assignment_with(rel, LimboParams::with_phi(phi_t))
+}
+
+/// As [`tuple_summary_assignment`], with full control over the LIMBO
+/// parameters (notably `params.threads` for the parallel association
+/// scan). Bit-identical to the serial run for every thread count.
+pub fn tuple_summary_assignment_with(rel: &Relation, params: LimboParams) -> (Vec<usize>, usize) {
+    let objects = tuple_dcfs_with(rel, params.threads);
     let mi = TupleRows::build(rel).mutual_information();
-    let model = phase1(
-        objects.iter().cloned(),
-        mi,
-        objects.len(),
-        LimboParams::with_phi(phi_t),
-    );
-    let assignment = objects
-        .iter()
-        .map(|o| nearest(o, &model.leaves).map(|(c, _)| c).unwrap_or(0))
-        .collect();
+    let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
+    let leaves = &model.leaves;
+    let assignment = if leaves.is_empty() {
+        vec![0; objects.len()]
+    } else {
+        assign_all_with(objects.iter(), leaves, params.threads)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
+    };
     (assignment, model.leaves.len())
 }
 

@@ -12,8 +12,8 @@
 //!   `O` row);
 //! * `C_VND`: everything else.
 
-use dbmine_ib::{nearest, Dcf};
-use dbmine_limbo::{phase1, reexpress_over_clusters, value_dcfs, LimboParams};
+use dbmine_ib::{assign_all_with, Dcf};
+use dbmine_limbo::{phase1, reexpress_over_clusters, value_dcfs_with, LimboParams};
 use dbmine_relation::{Relation, ValueId, ValueIndex};
 
 /// A cluster of attribute values.
@@ -109,29 +109,38 @@ pub fn cluster_values(
     phi_v: f64,
     tuple_assignment: Option<&[usize]>,
 ) -> ValueClustering {
+    cluster_values_with(rel, LimboParams::with_phi(phi_v), tuple_assignment)
+}
+
+/// As [`cluster_values`], with full control over the LIMBO parameters
+/// (notably `params.threads` for the parallel DCF construction and
+/// association scan). Bit-identical to the serial run for every count.
+pub fn cluster_values_with(
+    rel: &Relation,
+    params: LimboParams,
+    tuple_assignment: Option<&[usize]>,
+) -> ValueClustering {
     let index = ValueIndex::build(rel);
     let objects: Vec<Dcf> = match tuple_assignment {
         Some(assign) => reexpress_over_clusters(&index, assign),
-        None => value_dcfs(&index),
+        None => value_dcfs_with(&index, params.threads),
     };
     let mi = {
         let rows: Vec<_> = objects.iter().map(|d| (d.weight, &d.cond)).collect();
         dbmine_infotheory::mutual_information(rows.iter().copied())
     };
-    let model = phase1(
-        objects.iter().cloned(),
-        mi,
-        objects.len(),
-        LimboParams::with_phi(phi_v),
-    );
+    let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
 
     // Associate every value with its closest leaf summary (Phase 3).
     // Values whose own leaf is a singleton stay alone unless a multi-value
     // summary is strictly closer than their own representation, so we
     // assign against *all* leaves and read groups off the association.
     let mut member_lists: Vec<Vec<usize>> = vec![Vec::new(); model.leaves.len()];
-    for (i, obj) in objects.iter().enumerate() {
-        if let Some((idx, _)) = nearest(obj, &model.leaves) {
+    if !model.leaves.is_empty() {
+        for (i, (idx, _)) in assign_all_with(objects.iter(), &model.leaves, params.threads)
+            .into_iter()
+            .enumerate()
+        {
             member_lists[idx].push(i);
         }
     }

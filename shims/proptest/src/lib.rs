@@ -1,0 +1,540 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace-local crate re-implements the subset of proptest that the
+//! dbmine test suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * numeric range and tuple strategies,
+//! * [`collection::vec`], [`option::weighted`] and
+//!   [`string::string_regex`] (character-class patterns only).
+//!
+//! Unlike real proptest there is no shrinking and no persistence of
+//! failing seeds — each test runs a fixed number of deterministic cases
+//! derived from the test's name, so failures reproduce on every run.
+
+pub mod strategy {
+    //! Value-generation strategies.
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod test_runner {
+    //! The per-test configuration and deterministic RNG.
+    use rand::RngCore;
+
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The deterministic per-test generator (SplitMix64 seeded from the
+    /// test name, so every run replays the same cases).
+    #[derive(Clone, Debug)]
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// A generator seeded from `name` (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(h))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            self.0.next_f64()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification: `[lo, hi)` element counts.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Some(inner)` with probability `p`, else `None`.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> WeightedOption<S> {
+        assert!((0.0..=1.0).contains(&p), "weight must be a probability");
+        WeightedOption { p, inner }
+    }
+
+    /// See [`weighted`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct WeightedOption<S> {
+        p: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_f64() < self.p {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from (a small subset of) regex syntax.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Pattern parse failure.
+    #[derive(Clone, Debug)]
+    pub struct Error(String);
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Strategy for strings matching `pattern`.
+    ///
+    /// Supported syntax: a single character class `[...]` (literal
+    /// characters and `a-z` ranges) followed by an optional `{lo,hi}`
+    /// repetition (default exactly one). This covers patterns like
+    /// `"[ -~]{0,8}"`; anything richer returns an `Err`.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        if chars.get(i) != Some(&'[') {
+            return Err(Error(format!("unsupported pattern {pattern:?}")));
+        }
+        i += 1;
+        let mut alphabet = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = chars[i];
+            if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']' {
+                let (lo, hi) = (c, chars[i + 2]);
+                if lo > hi {
+                    return Err(Error(format!("bad range {lo}-{hi}")));
+                }
+                alphabet.extend(lo..=hi);
+                i += 3;
+            } else {
+                alphabet.push(c);
+                i += 1;
+            }
+        }
+        if chars.get(i) != Some(&']') || alphabet.is_empty() {
+            return Err(Error(format!("unterminated class in {pattern:?}")));
+        }
+        i += 1;
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let rest: String = chars[i + 1..].iter().collect();
+            let Some(end) = rest.find('}') else {
+                return Err(Error(format!("unterminated repetition in {pattern:?}")));
+            };
+            if i + 2 + end != chars.len() {
+                return Err(Error(format!("trailing syntax in {pattern:?}")));
+            }
+            let body = &rest[..end];
+            let (a, b) = match body.split_once(',') {
+                Some((a, b)) => (a, b),
+                None => (body, body),
+            };
+            let lo: usize = a.trim().parse().map_err(|e| Error(format!("{e}")))?;
+            let hi: usize = b.trim().parse().map_err(|e| Error(format!("{e}")))?;
+            (lo, hi)
+        } else if i == chars.len() {
+            (1, 1)
+        } else {
+            return Err(Error(format!("unsupported pattern {pattern:?}")));
+        };
+        if lo > hi {
+            return Err(Error(format!("bad repetition {lo},{hi}")));
+        }
+        Ok(RegexStrategy { alphabet, lo, hi })
+    }
+
+    /// See [`string_regex`].
+    #[derive(Clone, Debug)]
+    pub struct RegexStrategy {
+        alphabet: Vec<char>,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let span = (self.hi - self.lo + 1) as u64;
+            let n = self.lo + (rng.next_u64() % span) as usize;
+            (0..n)
+                .map(|_| self.alphabet[(rng.next_u64() % self.alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $( $(#[$attr:meta])* fn $name:ident (
+         $($arg:ident in $strat:expr),+ $(,)?
+     ) $body:block )*
+    ) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    ::core::panic!("property failed at case {}/{}: {}", case + 1, config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the *case* (with context) instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = (0u32..7).generate(&mut rng);
+            assert!(v < 7);
+            let (a, b) = ((1usize..=3), (0.5f64..2.0)).generate(&mut rng);
+            assert!((1..=3).contains(&a));
+            assert!((0.5..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::deterministic("sizes");
+        for _ in 0..500 {
+            let v = crate::collection::vec(0u8..3, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_regex_supports_class_with_repetition() {
+        let s = crate::string::string_regex("[ -~]{0,8}").expect("pattern");
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 8);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        assert!(crate::string::string_regex("a+").is_err());
+    }
+
+    #[test]
+    fn flat_map_chains_strategies() {
+        let mut rng = TestRng::deterministic("flat");
+        let s = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u32..10, n..n + 1));
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.iter().copied().filter(|&x| x < 4).count());
+            if v.is_empty() { return Ok(()); }
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

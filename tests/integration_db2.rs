@@ -85,14 +85,19 @@ fn exact_duplicates_recovered_at_phi_zero() {
 
 #[test]
 fn near_duplicates_recovered_with_phi() {
+    // Table 1's criterion (Section 8.1.2): a duplicate is discovered when
+    // the dirty copy is associated with the *same summary* as its
+    // original. (Tightness at τ is not the right extra filter here: τ
+    // bounds Phase 1's per-merge loss, while the association loss to a
+    // grown multi-tuple summary scales with the summary's weight, so
+    // legitimately merged members can sit slightly above τ afterwards.)
     let rel = db2_sample(&Db2Spec::default()).relation;
     let injected = inject_near_duplicates(&rel, 5, 2, 7);
     let report = find_duplicate_tuples(&injected.relation, 0.2);
-    let tau = report.threshold;
     let found = injected
         .injected
         .iter()
-        .filter(|d| report.same_tight_group(d.original, d.duplicate, tau))
+        .filter(|d| report.same_group(d.original, d.duplicate))
         .count();
     assert!(found >= 4, "only {found}/5 near-duplicates recovered");
 }
