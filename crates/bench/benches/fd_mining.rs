@@ -18,7 +18,15 @@ fn bench(c: &mut Criterion) {
     g.bench_function("fdep/db2_90x19", |b| b.iter(|| mine_fdep(&db2)));
     g.bench_function("fastfds/db2_90x19", |b| b.iter(|| mine_fastfds(&db2)));
     g.bench_function("tane/db2_90x19", |b| {
-        b.iter(|| mine_tane(&db2, TaneOptions { max_lhs: Some(4) }))
+        b.iter(|| {
+            mine_tane(
+                &db2,
+                TaneOptions {
+                    max_lhs: Some(4),
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.bench_function("approx_g3_0.05/db2_90x19", |b| {
         b.iter(|| mine_approximate(&db2, 0.05, Some(2)))

@@ -1,0 +1,175 @@
+//! FD-discovery bench runner: times the `fdmine_scaling` workloads and
+//! writes the medians to `results/BENCH_fdmine.json`, the machine-read
+//! bench trajectory for this subsystem (see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p dbmine-bench --bin bench_fdmine [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the workloads and sample counts to a smoke run
+//! (used to keep the runner itself from rotting); the default
+//! configuration mirrors the criterion bench.
+
+use dbmine::datagen::{synthetic, PlantedFd, SyntheticSpec};
+use dbmine::fdmine::{
+    mine_approximate_with, mine_tane, PartitionScratch, StrippedPartition, TaneOptions,
+};
+use dbmine::relation::Relation;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    id: String,
+    samples: usize,
+    median_ms: f64,
+    min_ms: f64,
+}
+
+/// Times `f` over `samples` runs (plus one untimed warmup) and records
+/// the median and minimum per-run wall clock.
+fn measure<R>(out: &mut Vec<Measurement>, id: &str, samples: usize, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let m = Measurement {
+        id: id.to_string(),
+        samples,
+        median_ms: times[times.len() / 2],
+        min_ms: times[0],
+    };
+    println!(
+        "{:<44} median {:>10.3} ms  min {:>10.3} ms",
+        m.id, m.median_ms, m.min_ms
+    );
+    out.push(m);
+}
+
+fn scaling_relation(n: usize) -> Relation {
+    synthetic(&SyntheticSpec {
+        n_tuples: n,
+        n_attrs: 8,
+        domain: 24,
+        skew: 0.8,
+        fds: vec![PlantedFd {
+            determinant: 0,
+            dependents: vec![1, 2],
+        }],
+        noise: 0.0,
+        seed: 42,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("results/BENCH_fdmine.json")
+        .to_string();
+
+    let (sizes, samples): (&[usize], usize) = if quick {
+        (&[2_000], 2)
+    } else {
+        (&[10_000, 50_000], 7)
+    };
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for &n in sizes {
+        let rel = scaling_relation(n);
+        measure(&mut results, &format!("tane/synth8/{n}"), samples, || {
+            mine_tane(&rel, TaneOptions::default())
+        });
+        for threads in [2usize, 4] {
+            measure(
+                &mut results,
+                &format!("tane_threads{threads}/synth8/{n}"),
+                samples,
+                || {
+                    mine_tane(
+                        &rel,
+                        TaneOptions {
+                            threads,
+                            ..Default::default()
+                        },
+                    )
+                },
+            );
+        }
+
+        let p0 = StrippedPartition::of_attr(&rel, 0);
+        let p3 = StrippedPartition::of_attr(&rel, 3);
+        let mut scratch = PartitionScratch::new();
+        measure(
+            &mut results,
+            &format!("product_scratch/synth8/{n}"),
+            samples * 50,
+            || p0.product_with(&p3, &mut scratch),
+        );
+        measure(
+            &mut results,
+            &format!("product_reference/synth8/{n}"),
+            samples * 50,
+            || p0.product_reference(&p3),
+        );
+        let p03 = p0.product(&p3);
+        measure(
+            &mut results,
+            &format!("g3_error/synth8/{n}"),
+            samples * 50,
+            || p0.g3_error_with(&p03, &mut scratch),
+        );
+    }
+
+    let noisy = synthetic(&SyntheticSpec {
+        n_tuples: if quick { 2_000 } else { 10_000 },
+        n_attrs: 6,
+        domain: 24,
+        skew: 0.8,
+        fds: vec![PlantedFd {
+            determinant: 0,
+            dependents: vec![1, 2],
+        }],
+        noise: 0.02,
+        seed: 42,
+    });
+    measure(
+        &mut results,
+        &format!("approx_g3_0.05/synth6_{}", noisy.n_tuples()),
+        samples,
+        || mine_approximate_with(&noisy, 0.05, Some(2), 1),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"fdmine_scaling\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"samples\": {}, \"median_ms\": {:.4}, \"min_ms\": {:.4}}}",
+            m.id, m.samples, m.median_ms, m.min_ms
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

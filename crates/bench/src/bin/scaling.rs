@@ -60,7 +60,13 @@ fn main() {
         let p3 = ms(t3);
 
         let tt = Instant::now();
-        let fds_tane = mine_tane(&rel, TaneOptions { max_lhs: Some(3) });
+        let fds_tane = mine_tane(
+            &rel,
+            TaneOptions {
+                max_lhs: Some(3),
+                ..Default::default()
+            },
+        );
         let tane_t = ms(tt);
 
         // FDEP is quadratic — only run it while affordable.

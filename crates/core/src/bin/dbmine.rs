@@ -8,7 +8,7 @@
 //! dbmine redesign   <file.csv> [--steps N]
 //! ```
 
-use dbmine::fdmine::{mine_approximate, minimum_cover};
+use dbmine::fdmine::{mine_approximate_with, minimum_cover};
 use dbmine::fdrank::decompose;
 use dbmine::limbo::LimboParams;
 use dbmine::relation::csv::read_relation_path;
@@ -38,8 +38,9 @@ fn usage() -> ! {
          \x20 --max-lhs N  bound FD left-hand-side size\n\
          \x20 --k N        force the number of horizontal partitions\n\
          \x20 --steps N    decomposition steps for redesign (default 3)\n\
-         \x20 --threads N  worker threads for clustering (1 = serial,\n\
-         \x20              0 = all cores; results are bit-identical)"
+         \x20 --threads N  worker threads for clustering and FD mining\n\
+         \x20              (1 = serial, 0 = all cores; results are\n\
+         \x20              bit-identical for every thread count)"
     );
     exit(2);
 }
@@ -148,7 +149,7 @@ fn cmd_fds(args: &Args) {
     match args.flags.get("approx") {
         Some(eps) => {
             let eps: f64 = eps.parse().unwrap_or_else(|_| usage());
-            let approx = mine_approximate(&rel, eps, max_lhs);
+            let approx = mine_approximate_with(&rel, eps, max_lhs, args.threads());
             println!("approximate dependencies (g3 ≤ {eps}): {}", approx.len());
             let mut sorted = approx;
             sorted.sort_by(|a, b| a.error.total_cmp(&b.error));
@@ -157,7 +158,13 @@ fn cmd_fds(args: &Args) {
             }
         }
         None => {
-            let fds = dbmine::fdmine::mine_tane(&rel, dbmine::fdmine::TaneOptions { max_lhs });
+            let fds = dbmine::fdmine::mine_tane(
+                &rel,
+                dbmine::fdmine::TaneOptions {
+                    max_lhs,
+                    threads: args.threads(),
+                },
+            );
             let cover = minimum_cover(&fds);
             println!(
                 "exact minimal dependencies: {} (cover: {})",

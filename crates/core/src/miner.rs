@@ -36,8 +36,9 @@ pub struct MinerConfig {
     pub fd_miner: FdMiner,
     /// Bound on TANE's LHS size (None = exact and unbounded).
     pub max_lhs: Option<usize>,
-    /// Worker threads for the clustering stages (`1` = serial, `0` = all
-    /// cores). Results are bit-identical for every thread count.
+    /// Worker threads for the clustering and FD-mining stages (`1` =
+    /// serial, `0` = all cores). Results are bit-identical for every
+    /// thread count.
     pub threads: usize,
 }
 
@@ -232,7 +233,13 @@ impl StructureMiner {
 
         let fds = match self.effective_miner(rel) {
             FdMiner::Fdep => mine_fdep(rel),
-            _ => mine_tane(rel, TaneOptions { max_lhs: c.max_lhs }),
+            _ => mine_tane(
+                rel,
+                TaneOptions {
+                    max_lhs: c.max_lhs,
+                    threads: c.threads,
+                },
+            ),
         };
         let cover = minimum_cover(&fds);
         let ranked_fds = rank_fds(&cover, &attribute_grouping, c.psi);

@@ -13,6 +13,7 @@
 
 use crate::partitions::StrippedPartition;
 use dbmine_relation::{AttrSet, Relation};
+use fxhash::FxHashSet;
 use std::collections::HashSet;
 
 /// The agree set of tuples `t1` and `t2`.
@@ -26,7 +27,8 @@ pub fn agree_set(rel: &Relation, t1: usize, t2: usize) -> AttrSet {
 /// some pair agrees nowhere).
 pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
     let n = rel.n_tuples();
-    let mut seen_pairs: HashSet<(u32, u32)> = HashSet::new();
+    // Fx-hashed: the pair set holds up to O(n²) small integer keys.
+    let mut seen_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
     let mut out: HashSet<AttrSet> = HashSet::new();
 
     // Pairs sharing at least one attribute value, via the per-attribute

@@ -14,9 +14,10 @@
 //! determines everything exactly).
 
 use crate::fd::{normalize_fds, Fd};
-use crate::partitions::StrippedPartition;
+use crate::partitions::{PartitionScratch, StrippedPartition};
+use dbmine_parallel::{par_map_init, par_map_range};
 use dbmine_relation::{AttrSet, Relation};
-use std::collections::HashMap;
+use fxhash::{FxHashMap, FxHashSet};
 
 /// An approximate dependency with its `g3` error.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,8 +30,22 @@ pub struct ApproxFd {
 
 /// Mines all minimal dependencies with `g3` error at most `epsilon`
 /// (`epsilon = 0` reduces to exact mining). `max_lhs` bounds the LHS
-/// size (`None` = unbounded).
+/// size (`None` = unbounded). Serial; see
+/// [`mine_approximate_with`] for the threaded variant.
 pub fn mine_approximate(rel: &Relation, epsilon: f64, max_lhs: Option<usize>) -> Vec<ApproxFd> {
+    mine_approximate_with(rel, epsilon, max_lhs, 1)
+}
+
+/// [`mine_approximate`] with an explicit worker-thread count (`1` =
+/// serial, `0` = all cores). The `g3` tests and the prefix-join
+/// products fan out with deterministic chunking, so results are
+/// bit-identical for every thread count.
+pub fn mine_approximate_with(
+    rel: &Relation,
+    epsilon: f64,
+    max_lhs: Option<usize>,
+    threads: usize,
+) -> Vec<ApproxFd> {
     assert!((0.0..1.0).contains(&epsilon), "ε must be in [0,1)");
     let m = rel.n_attrs();
     let mut found: Vec<ApproxFd> = Vec::new();
@@ -38,86 +53,118 @@ pub fn mine_approximate(rel: &Relation, epsilon: f64, max_lhs: Option<usize>) ->
     let mut found_lhs: Vec<Vec<AttrSet>> = vec![Vec::new(); m];
 
     // Level 0/1 partitions.
-    let mut prev_parts: HashMap<u64, StrippedPartition> = HashMap::from([(
+    let mut prev_parts: FxHashMap<u64, StrippedPartition> = std::iter::once((
         AttrSet::EMPTY.bits(),
         StrippedPartition::of_empty(rel.n_tuples()),
-    )]);
+    ))
+    .collect();
+    let attr_parts: Vec<StrippedPartition> =
+        par_map_range(threads, m, |a| StrippedPartition::of_attr(rel, a));
     let mut current: Vec<AttrSet> = (0..m).map(AttrSet::single).collect();
-    let mut current_parts: HashMap<u64, StrippedPartition> = (0..m)
-        .map(|a| {
-            (
-                AttrSet::single(a).bits(),
-                StrippedPartition::of_attr(rel, a),
-            )
-        })
+    let mut current_parts: FxHashMap<u64, StrippedPartition> = attr_parts
+        .into_iter()
+        .enumerate()
+        .map(|(a, p)| (AttrSet::single(a).bits(), p))
         .collect();
     let mut level = 1usize;
 
     while !current.is_empty() {
-        for &x in &current {
-            let px = &current_parts[&x.bits()];
-            for a in x.iter() {
-                let lhs = x.without(a);
-                if found_lhs[a].iter().any(|&f| f.is_subset_of(lhs)) {
-                    continue; // a smaller LHS already works
+        // The g3 tests of one level only read the level-start state
+        // (`found_lhs` entries added at this level have the same LHS
+        // size as the candidates under test, so they can never prune a
+        // same-level sibling — LHS/RHS pairs are unique per level).
+        // That makes the per-set loop embarrassingly parallel; the
+        // serial merge below replays emissions in set order, so output
+        // is identical for every thread count.
+        let tested: Vec<Vec<(Fd, f64)>> = par_map_init(
+            threads,
+            &current,
+            PartitionScratch::new,
+            |scratch, _, &x| {
+                let px = &current_parts[&x.bits()];
+                let mut results = Vec::new();
+                for a in x.iter() {
+                    let lhs = x.without(a);
+                    if found_lhs[a].iter().any(|&f| f.is_subset_of(lhs)) {
+                        continue; // a smaller LHS already works
+                    }
+                    let Some(p_lhs) = prev_parts.get(&lhs.bits()) else {
+                        continue;
+                    };
+                    let error = p_lhs.g3_error_with(px, scratch);
+                    if error <= epsilon {
+                        results.push((Fd::new(lhs, a), error));
+                    }
                 }
-                let Some(p_lhs) = prev_parts.get(&lhs.bits()) else {
-                    continue;
-                };
-                let error = p_lhs.g3_error(px);
-                if error <= epsilon {
-                    found.push(ApproxFd {
-                        fd: Fd::new(lhs, a),
-                        error,
-                    });
-                    found_lhs[a].push(lhs);
-                }
+                results
+            },
+        );
+        for per_set in tested {
+            for (fd, error) in per_set {
+                found.push(ApproxFd { fd, error });
+                found_lhs[fd.rhs].push(fd.lhs);
             }
-            // Note: unlike exact TANE, a key X must NOT be pruned from
-            // candidate generation. The FD (X∪{b})\{a} → a (for a ∈ X) is
-            // only ever tested from the candidate X∪{b}; its LHS does not
-            // contain X, so it can still be minimal even though X is a key.
-            // Without the rhs⁺ machinery that makes TANE's key pruning
-            // complete, deleting X here silently loses those dependencies.
-            // Keys still cost nothing extra to emit: a key LHS has an empty
-            // stripped partition, so its g3 error is exactly 0.0 and its
-            // consequents surface through the normal test one level up.
         }
+        // Note: unlike exact TANE, a key X must NOT be pruned from
+        // candidate generation. The FD (X∪{b})\{a} → a (for a ∈ X) is
+        // only ever tested from the candidate X∪{b}; its LHS does not
+        // contain X, so it can still be minimal even though X is a key.
+        // Without the rhs⁺ machinery that makes TANE's key pruning
+        // complete, deleting X here silently loses those dependencies.
+        // Keys still cost nothing extra to emit: a key LHS has an empty
+        // stripped partition, so its g3 error is exactly 0.0 and its
+        // consequents surface through the normal test one level up.
         if max_lhs.is_some_and(|max| level > max) {
             break;
         }
 
-        let survivor_bits: std::collections::HashSet<u64> =
-            current.iter().map(|s| s.bits()).collect();
+        let survivor_bits: FxHashSet<u64> = current.iter().map(|s| s.bits()).collect();
 
-        // Prefix join.
-        let mut blocks: HashMap<u64, Vec<AttrSet>> = HashMap::new();
+        // Prefix join: candidates enumerated serially (in set order),
+        // products computed in parallel with per-worker scratch.
+        let mut block_index: FxHashMap<u64, usize> = FxHashMap::default();
+        let mut blocks: Vec<Vec<AttrSet>> = Vec::new();
         for &s in &current {
             let max_attr = s.iter().last().expect("non-empty");
-            blocks
+            let idx = *block_index
                 .entry(s.without(max_attr).bits())
-                .or_default()
-                .push(s);
+                .or_insert_with(|| {
+                    blocks.push(Vec::new());
+                    blocks.len() - 1
+                });
+            blocks[idx].push(s);
         }
-        let mut next: Vec<AttrSet> = Vec::new();
-        let mut next_parts: HashMap<u64, StrippedPartition> = HashMap::new();
-        for group in blocks.values() {
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        let mut candidates: Vec<(AttrSet, u64, u64)> = Vec::new();
+        for group in &blocks {
             for i in 0..group.len() {
                 for j in (i + 1)..group.len() {
                     let x = group[i].union(group[j]);
                     if !x
                         .iter()
                         .all(|a| survivor_bits.contains(&x.without(a).bits()))
-                        || next_parts.contains_key(&x.bits())
+                        || !seen.insert(x.bits())
                     {
                         continue;
                     }
-                    let p =
-                        current_parts[&group[i].bits()].product(&current_parts[&group[j].bits()]);
-                    next_parts.insert(x.bits(), p);
-                    next.push(x);
+                    candidates.push((x, group[i].bits(), group[j].bits()));
                 }
             }
+        }
+        let products: Vec<StrippedPartition> = par_map_init(
+            threads,
+            &candidates,
+            PartitionScratch::new,
+            |scratch, _, &(_, left, right)| {
+                current_parts[&left].product_with(&current_parts[&right], scratch)
+            },
+        );
+        let mut next: Vec<AttrSet> = Vec::with_capacity(candidates.len());
+        let mut next_parts: FxHashMap<u64, StrippedPartition> =
+            FxHashMap::with_capacity_and_hasher(candidates.len(), Default::default());
+        for (&(x, _, _), p) in candidates.iter().zip(products) {
+            next_parts.insert(x.bits(), p);
+            next.push(x);
         }
 
         prev_parts = current_parts;

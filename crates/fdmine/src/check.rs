@@ -1,7 +1,7 @@
 //! Direct validity and approximation-error checks for single
 //! dependencies.
 
-use crate::partitions::StrippedPartition;
+use crate::partitions::{PartitionScratch, StrippedPartition};
 use dbmine_relation::{AttrId, AttrSet, Relation};
 
 /// Builds the stripped partition of an arbitrary attribute set.
@@ -10,9 +10,10 @@ pub fn partition_of(rel: &Relation, attrs: AttrSet) -> StrippedPartition {
     match iter.next() {
         None => StrippedPartition::of_empty(rel.n_tuples()),
         Some(first) => {
+            let mut scratch = PartitionScratch::new();
             let mut p = StrippedPartition::of_attr(rel, first);
             for a in iter {
-                p = p.product(&StrippedPartition::of_attr(rel, a));
+                p = p.product_with(&StrippedPartition::of_attr(rel, a), &mut scratch);
             }
             p
         }

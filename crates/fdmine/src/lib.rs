@@ -38,11 +38,12 @@ pub mod mvd;
 pub mod partitions;
 pub mod tane;
 
-pub use approximate::{exact_subset, mine_approximate, ApproxFd};
-pub use check::{fd_error_g3, fd_holds};
+pub use approximate::{exact_subset, mine_approximate, mine_approximate_with, ApproxFd};
+pub use check::{fd_error_g3, fd_holds, partition_of};
 pub use cover::{closure, minimum_cover};
 pub use fastfds::mine_fastfds;
 pub use fd::Fd;
 pub use fdep::mine_fdep;
 pub use mvd::{mine_mvds, mvd_holds, Mvd};
+pub use partitions::{PartitionScratch, StrippedPartition};
 pub use tane::{mine_tane, TaneOptions};

@@ -94,6 +94,7 @@ pub fn mine_mvds(rel: &Relation, max_lhs: usize, exclude_fd_implied: bool) -> Ve
             rel,
             crate::tane::TaneOptions {
                 max_lhs: Some(max_lhs),
+                ..Default::default()
             },
         )
     } else {

@@ -18,6 +18,43 @@ pub struct StrippedPartition {
     pub n: usize,
 }
 
+/// Reusable workspace for the partition hot path.
+///
+/// [`StrippedPartition::product`] and [`StrippedPartition::g3_error`]
+/// need O(n) probe tables; allocating them per call dominates the TANE
+/// lattice walk, where every level performs thousands of products over
+/// the same relation. A caller-owned scratch amortizes those tables
+/// across calls: buffers only ever grow, and every operation restores
+/// the "clean" invariant (probe entries back to the sentinel, slots
+/// empty) before returning, so one scratch serves arbitrarily many
+/// partitions — even of different relations.
+///
+/// Not `Clone`/`Sync` on purpose: each worker thread owns its own
+/// scratch (see `dbmine_parallel::par_map_init`).
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    /// tuple → class id in the left partition (`u32::MAX` = singleton).
+    /// Invariant between calls: all entries are `u32::MAX`.
+    class_of: Vec<u32>,
+    /// The TANE `S` table: per-left-class tuple buckets. Invariant
+    /// between calls: every bucket is empty (capacity retained).
+    slots: Vec<Vec<u32>>,
+    /// Left-class ids touched while scanning one right class.
+    touched: Vec<u32>,
+    /// Per-tuple class ids of the refined partition (`g3_error`).
+    ids: Vec<u32>,
+    /// Per-refined-class tuple counts (`g3_error`). Invariant between
+    /// calls: all entries are zero.
+    counts: Vec<u32>,
+}
+
+impl PartitionScratch {
+    /// A fresh workspace (buffers grow lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl StrippedPartition {
     /// The partition of a single attribute.
     ///
@@ -35,12 +72,30 @@ impl StrippedPartition {
     /// partition), but note it is the *opposite* of SQL, where
     /// `NULL = NULL` is unknown and such FDs would be vacuous instead.
     pub fn of_attr(rel: &Relation, a: AttrId) -> Self {
-        let mut groups: std::collections::HashMap<u32, Vec<u32>> = Default::default();
-        for (t, &v) in rel.column(a).iter().enumerate() {
-            groups.entry(v).or_default().push(t as u32);
+        // Value ids are dense (interned), so count-then-bucket over a
+        // value-indexed table beats a HashMap group-by.
+        let col = rel.column(a);
+        let width = col.iter().map(|&v| v as usize + 1).max().unwrap_or(0);
+        let mut count = vec![0u32; width];
+        for &v in col {
+            count[v as usize] += 1;
         }
-        let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() >= 2).collect();
-        classes.sort();
+        let mut slot = vec![u32::MAX; width];
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for (t, &v) in col.iter().enumerate() {
+            if count[v as usize] >= 2 {
+                let s = &mut slot[v as usize];
+                if *s == u32::MAX {
+                    *s = classes.len() as u32;
+                    classes.push(Vec::with_capacity(count[v as usize] as usize));
+                }
+                classes[*s as usize].push(t as u32);
+            }
+        }
+        // Classes emerge ordered by first tuple = lexicographic order
+        // (they are disjoint and internally ascending); the sort is a
+        // cheap presorted pass kept for the documented invariant.
+        classes.sort_unstable();
         StrippedPartition {
             classes,
             n: rel.n_tuples(),
@@ -80,9 +135,80 @@ impl StrippedPartition {
         self.classes.is_empty()
     }
 
-    /// The product `π_X = π_self · π_other` (partition refinement), via
-    /// the linear probe algorithm of the TANE paper.
+    /// The product `π_X = π_self · π_other` (partition refinement).
+    ///
+    /// Convenience wrapper over [`Self::product_with`] that pays for a
+    /// fresh [`PartitionScratch`]; hot loops should own a scratch and
+    /// call `product_with` directly.
     pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        self.product_with(other, &mut PartitionScratch::default())
+    }
+
+    /// The product `π_X = π_self · π_other` via the canonical TANE
+    /// probe-table algorithm (`T`/`S` tables), with all probe state in
+    /// the caller-owned `scratch`: zero hashing, zero per-call
+    /// allocation beyond the result itself.
+    ///
+    /// Output is bit-identical to [`Self::product_reference`] (pinned by
+    /// regression and property tests).
+    pub fn product_with(
+        &self,
+        other: &StrippedPartition,
+        scratch: &mut PartitionScratch,
+    ) -> StrippedPartition {
+        debug_assert_eq!(self.n, other.n);
+        if scratch.class_of.len() < self.n {
+            scratch.class_of.resize(self.n, u32::MAX);
+        }
+        if scratch.slots.len() < self.classes.len() {
+            scratch.slots.resize_with(self.classes.len(), Vec::new);
+        }
+        // T table: tuple → class id in `self`.
+        for (cid, class) in self.classes.iter().enumerate() {
+            for &t in class {
+                scratch.class_of[t as usize] = cid as u32;
+            }
+        }
+        // For each class of `other`, bucket its tuples into the S table
+        // by their `self` class; buckets inherit `other`'s ascending
+        // tuple order, so each emitted class is already sorted.
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for class in &other.classes {
+            scratch.touched.clear();
+            for &t in class {
+                let cid = scratch.class_of[t as usize];
+                if cid != u32::MAX {
+                    let slot = &mut scratch.slots[cid as usize];
+                    if slot.is_empty() {
+                        scratch.touched.push(cid);
+                    }
+                    slot.push(t);
+                }
+            }
+            for &cid in &scratch.touched {
+                let slot = &mut scratch.slots[cid as usize];
+                if slot.len() >= 2 {
+                    classes.push(slot.clone());
+                }
+                slot.clear();
+            }
+        }
+        // Restore the clean-scratch invariant (touch only what we set).
+        for class in &self.classes {
+            for &t in class {
+                scratch.class_of[t as usize] = u32::MAX;
+            }
+        }
+        // Disjoint classes: unstable sort is total, matching the
+        // reference's lexicographic class order.
+        classes.sort_unstable();
+        StrippedPartition { classes, n: self.n }
+    }
+
+    /// The original product implementation (probe table + per-class
+    /// `HashMap`), kept as the oracle for [`Self::product_with`]'s
+    /// regression and property tests.
+    pub fn product_reference(&self, other: &StrippedPartition) -> StrippedPartition {
         debug_assert_eq!(self.n, other.n);
         // Map tuple → class id in `self` (usize::MAX for singletons).
         let mut class_of = vec![usize::MAX; self.n];
@@ -115,39 +241,74 @@ impl StrippedPartition {
     /// negative-space ids ≥ `classes.len()`), used for `g3` error
     /// computation.
     pub fn class_ids(&self) -> Vec<u32> {
-        let mut ids = vec![u32::MAX; self.n];
+        let mut ids = Vec::new();
+        self.class_ids_into(&mut ids);
+        ids
+    }
+
+    /// [`Self::class_ids`] into a caller-owned buffer (cleared and
+    /// refilled; no allocation once the buffer has capacity `n`).
+    pub fn class_ids_into(&self, ids: &mut Vec<u32>) {
+        ids.clear();
+        ids.resize(self.n, u32::MAX);
         for (cid, class) in self.classes.iter().enumerate() {
             for &t in class {
                 ids[t as usize] = cid as u32;
             }
         }
         let mut next = self.classes.len() as u32;
-        for id in &mut ids {
+        for id in ids.iter_mut() {
             if *id == u32::MAX {
                 *id = next;
                 next += 1;
             }
         }
-        ids
     }
 
     /// The `g3` error of `X → A` where `self = π_X` and `refined = π_{X∪A}`:
     /// the minimum fraction of tuples to delete for the dependency to
     /// hold exactly.
+    ///
+    /// Convenience wrapper over [`Self::g3_error_with`]; hot loops
+    /// should reuse a [`PartitionScratch`].
     pub fn g3_error(&self, refined: &StrippedPartition) -> f64 {
+        self.g3_error_with(refined, &mut PartitionScratch::default())
+    }
+
+    /// [`Self::g3_error`] with all probe state in the caller-owned
+    /// `scratch` (dense count tables instead of a per-class `HashMap`).
+    pub fn g3_error_with(
+        &self,
+        refined: &StrippedPartition,
+        scratch: &mut PartitionScratch,
+    ) -> f64 {
         if self.n == 0 {
             return 0.0;
         }
-        let refined_ids = refined.class_ids();
-        let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+        debug_assert_eq!(self.n, refined.n);
+        refined.class_ids_into(&mut scratch.ids);
+        // Refined class ids live in 0..n, so a dense n-wide count table
+        // suffices; only touched entries are reset.
+        if scratch.counts.len() < self.n {
+            scratch.counts.resize(self.n, 0);
+        }
         let mut removed = 0usize;
         for class in &self.classes {
-            counts.clear();
+            scratch.touched.clear();
+            let mut keep = 1u32;
             for &t in class {
-                *counts.entry(refined_ids[t as usize]).or_insert(0) += 1;
+                let id = scratch.ids[t as usize];
+                let c = &mut scratch.counts[id as usize];
+                *c += 1;
+                if *c == 1 {
+                    scratch.touched.push(id);
+                }
+                keep = keep.max(*c);
             }
-            let keep = counts.values().copied().max().unwrap_or(1);
-            removed += class.len() - keep;
+            removed += class.len() - keep as usize;
+            for &id in &scratch.touched {
+                scratch.counts[id as usize] = 0;
+            }
         }
         removed as f64 / self.n as f64
     }
@@ -269,6 +430,90 @@ mod tests {
         let pn = StrippedPartition::of_attr(&rel, 0);
         let pe = StrippedPartition::of_empty(rel.n_tuples());
         assert_eq!(pn.error(), pe.error(), "all-NULL column acts constant");
+    }
+
+    #[test]
+    fn product_matches_reference_on_paper_relations() {
+        // Bit-identical output: same classes, same order, same n.
+        let mut scratch = PartitionScratch::new();
+        for rel in [
+            dbmine_relation::paper::figure1(),
+            figure4(),
+            dbmine_relation::paper::figure5(),
+        ] {
+            for a in 0..rel.n_attrs() {
+                for b in 0..rel.n_attrs() {
+                    let pa = StrippedPartition::of_attr(&rel, a);
+                    let pb = StrippedPartition::of_attr(&rel, b);
+                    assert_eq!(
+                        pa.product_with(&pb, &mut scratch),
+                        pa.product_reference(&pb),
+                        "{} · {} on {}",
+                        a,
+                        b,
+                        rel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_mixed_relation_sizes() {
+        // One scratch across partitions of different relations and
+        // sizes: the clean-state invariant must hold between calls.
+        let mut scratch = PartitionScratch::new();
+        let small = figure4();
+        let mut b = RelationBuilder::new("big", &["A", "B"]);
+        for i in 0..100 {
+            b.push_row_strs(&[&format!("a{}", i % 7), &format!("b{}", i % 3)]);
+        }
+        let big = b.build();
+        for _ in 0..3 {
+            for rel in [&small, &big] {
+                let pa = StrippedPartition::of_attr(rel, 0);
+                let pb = StrippedPartition::of_attr(rel, 1);
+                assert_eq!(
+                    pa.product_with(&pb, &mut scratch),
+                    pa.product_reference(&pb)
+                );
+                let pab = pa.product_with(&pb, &mut scratch);
+                let g3_scratch = pa.g3_error_with(&pab, &mut scratch);
+                let g3_fresh = pa.g3_error(&pab);
+                assert_eq!(g3_scratch, g3_fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partition_products() {
+        let empty = StrippedPartition {
+            classes: vec![],
+            n: 5,
+        };
+        let full = StrippedPartition::of_empty(5);
+        let mut scratch = PartitionScratch::new();
+        assert_eq!(
+            empty.product_with(&full, &mut scratch),
+            empty.product_reference(&full)
+        );
+        assert_eq!(
+            full.product_with(&empty, &mut scratch),
+            full.product_reference(&empty)
+        );
+        assert!(full.product_with(&empty, &mut scratch).classes.is_empty());
+    }
+
+    #[test]
+    fn class_ids_into_reuses_buffer() {
+        let rel = figure4();
+        let pb = StrippedPartition::of_attr(&rel, 1);
+        let pc = StrippedPartition::of_attr(&rel, 2);
+        let mut buf = Vec::new();
+        pb.class_ids_into(&mut buf);
+        assert_eq!(buf, pb.class_ids());
+        pc.class_ids_into(&mut buf); // refill, not append
+        assert_eq!(buf, pc.class_ids());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 use dbmine_fdmine::brute::mine_brute;
 use dbmine_fdmine::cover::{closure, implies, minimum_cover};
 use dbmine_fdmine::fdep::minimal_hitting_sets;
-use dbmine_fdmine::{fd_error_g3, fd_holds, mine_fdep, mine_tane, Fd, TaneOptions};
+use dbmine_fdmine::{
+    fd_error_g3, fd_holds, mine_approximate_with, mine_fdep, mine_tane, Fd, PartitionScratch,
+    StrippedPartition, TaneOptions,
+};
 use dbmine_relation::{AttrSet, Relation, RelationBuilder};
 use proptest::prelude::*;
 
@@ -129,6 +132,82 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn product_matches_reference_bit_identically(rel in arb_relation()) {
+        // One scratch across every pair: also exercises the
+        // clean-between-calls invariant.
+        let mut scratch = PartitionScratch::new();
+        let parts: Vec<StrippedPartition> =
+            (0..rel.n_attrs()).map(|a| StrippedPartition::of_attr(&rel, a)).collect();
+        for pa in &parts {
+            for pb in &parts {
+                let fast = pa.product_with(pb, &mut scratch);
+                let reference = pa.product_reference(pb);
+                prop_assert_eq!(&fast, &reference, "product mismatch");
+            }
+        }
+        // Multi-attribute lhs against the empty partition too.
+        let empty = StrippedPartition::of_empty(rel.n_tuples());
+        if parts.len() >= 2 {
+            let pab = parts[0].product_with(&parts[1], &mut scratch);
+            prop_assert_eq!(
+                pab.product_with(&empty, &mut scratch),
+                pab.product_reference(&empty)
+            );
+        }
+    }
+
+    #[test]
+    fn tane_is_invariant_across_thread_counts(rel in arb_relation()) {
+        let serial = mine_tane(&rel, TaneOptions { threads: 1, ..Default::default() });
+        for threads in [0usize, 2, 4] {
+            let t = mine_tane(&rel, TaneOptions { threads, ..Default::default() });
+            prop_assert_eq!(&t, &serial, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn approximate_is_invariant_across_thread_counts(rel in arb_relation()) {
+        let serial = mine_approximate_with(&rel, 0.2, None, 1);
+        for threads in [0usize, 2, 4] {
+            let t = mine_approximate_with(&rel, 0.2, None, threads);
+            // ApproxFd carries an f64 error: require exact equality —
+            // the determinism contract is bit-identical output.
+            prop_assert_eq!(t.len(), serial.len(), "threads = {}", threads);
+            for (a, b) in t.iter().zip(&serial) {
+                prop_assert_eq!(a.fd, b.fd, "threads = {}", threads);
+                prop_assert!(
+                    a.error == b.error && a.error.to_bits() == b.error.to_bits(),
+                    "g3 drifted across thread counts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn g3_scratch_matches_hashmap_reference(rel in arb_relation(), a in 0usize..5, b in 0usize..5) {
+        if a >= rel.n_attrs() || b >= rel.n_attrs() { return Ok(()); }
+        let pa = StrippedPartition::of_attr(&rel, a);
+        let pab = pa.product(&StrippedPartition::of_attr(&rel, b));
+        // Reference g3: the original per-class HashMap count.
+        let ids = pab.class_ids();
+        let mut removed = 0usize;
+        for class in &pa.classes {
+            let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+            for &t in class {
+                *counts.entry(ids[t as usize]).or_insert(0) += 1;
+            }
+            removed += class.len() - counts.values().copied().max().unwrap_or(1);
+        }
+        let reference = if rel.n_tuples() == 0 {
+            0.0
+        } else {
+            removed as f64 / rel.n_tuples() as f64
+        };
+        let fast = pa.g3_error_with(&pab, &mut PartitionScratch::new());
+        prop_assert!(fast.to_bits() == reference.to_bits(), "{} != {}", fast, reference);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! occurrence of an `A`-value except the first per `X`-group is
 //! redundant: it can be reconstructed from the earliest witness tuple.
 
+use dbmine_fdmine::partition_of;
 use dbmine_relation::{AttrId, AttrSet, Relation};
-use std::collections::HashMap;
 
 /// A redundant cell: `(tuple, attribute)` whose value is implied by the
 /// `witness` tuple under the dependency.
@@ -30,23 +30,23 @@ pub struct RedundantCell {
 /// cells whose value *disagrees* with the witness are skipped (they are
 /// erroneous, not redundant — the distinction Figure 1 draws).
 pub fn redundant_cells(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> Vec<RedundantCell> {
-    let mut first_witness: HashMap<Vec<u32>, usize> = HashMap::new();
+    // Two tuples share an X-group iff they share a π_X class id, so the
+    // witness map indexes a dense array by class id instead of hashing
+    // a projected `Vec<u32>` key per tuple (the old implementation
+    // allocated one such key for every tuple).
+    let ids = partition_of(rel, lhs).class_ids();
+    let mut first_witness: Vec<u32> = vec![u32::MAX; rel.n_tuples()];
     let mut out = Vec::new();
-    for t in 0..rel.n_tuples() {
-        let key = rel.tuple_projected(t, lhs);
-        match first_witness.get(&key) {
-            None => {
-                first_witness.insert(key, t);
-            }
-            Some(&w) => {
-                if rel.value(w, rhs) == rel.value(t, rhs) {
-                    out.push(RedundantCell {
-                        tuple: t,
-                        attr: rhs,
-                        witness: w,
-                    });
-                }
-            }
+    for (t, &id) in ids.iter().enumerate() {
+        let w = first_witness[id as usize];
+        if w == u32::MAX {
+            first_witness[id as usize] = t as u32;
+        } else if rel.value(w as usize, rhs) == rel.value(t, rhs) {
+            out.push(RedundantCell {
+                tuple: t,
+                attr: rhs,
+                witness: w as usize,
+            });
         }
     }
     out
@@ -107,6 +107,52 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.witness == 2));
         assert!((redundancy_fraction(&rel, AttrSet::single(2), 1) - 0.4).abs() < 1e-12);
+    }
+
+    /// The pre-class-id implementation: witness map keyed by the
+    /// projected tuple (allocates a `Vec<u32>` key per tuple). Kept as
+    /// the oracle for the class-id rewrite.
+    fn redundant_cells_reference(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> Vec<RedundantCell> {
+        let mut first_witness: std::collections::HashMap<Vec<u32>, usize> = Default::default();
+        let mut out = Vec::new();
+        for t in 0..rel.n_tuples() {
+            let key = rel.tuple_projected(t, lhs);
+            match first_witness.get(&key) {
+                None => {
+                    first_witness.insert(key, t);
+                }
+                Some(&w) => {
+                    if rel.value(w, rhs) == rel.value(t, rhs) {
+                        out.push(RedundantCell {
+                            tuple: t,
+                            attr: rhs,
+                            witness: w,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn class_id_rewrite_matches_projected_key_reference() {
+        // Pin identical output on the Figure 1 relation (and Figure 4,
+        // for a multi-attribute LHS), for every (lhs, rhs) pair.
+        for rel in [figure1(), figure4()] {
+            let m = rel.n_attrs();
+            for lhs_bits in 0u64..(1 << m) {
+                let lhs = AttrSet::from_bits(lhs_bits);
+                for rhs in 0..m {
+                    assert_eq!(
+                        redundant_cells(&rel, lhs, rhs),
+                        redundant_cells_reference(&rel, lhs, rhs),
+                        "lhs={lhs:?} rhs={rhs} on {}",
+                        rel.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

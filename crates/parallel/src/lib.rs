@@ -84,6 +84,61 @@ where
     par_map_range(threads, items.len(), |i| f(i, &items[i]))
 }
 
+/// Like [`par_map`], but hands each worker a mutable per-chunk state
+/// built by `init` — the hook hot loops need to reuse scratch buffers
+/// (e.g. partition-product probe tables) without re-allocating per item
+/// and without sharing them across threads.
+///
+/// Serially (`threads <= 1` or a small input) a single state serves the
+/// whole slice, so scratch reuse is maximal exactly when it matters
+/// most. The determinism contract of [`par_map`] carries over as long as
+/// `f`'s result does not depend on the *contents* of the state beyond
+/// what `f` itself established for this item (true for scratch buffers,
+/// which are semantically write-before-read).
+pub fn par_map_init<S, T, R, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(threads).min(n.max(1));
+    if threads <= 1 || n < 2 * MIN_ITEMS_PER_THREAD {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    let init = &init;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut start = 0usize;
+        while start < n {
+            let len = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let lo = start;
+            scope.spawn(move || {
+                let mut state = init();
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(&mut state, lo + off, &items[lo + off]));
+                }
+            });
+            start += len;
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +175,49 @@ mod tests {
     fn results_are_in_index_order() {
         let out = par_map_range(4, 1_000, |i| i);
         assert_eq!(out, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn init_state_is_reused_and_results_ordered() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let serial = par_map_init(
+            1,
+            &items,
+            Vec::<u64>::new,
+            |scratch: &mut Vec<u64>, i, &x| {
+                scratch.clear();
+                scratch.extend_from_slice(&[x, i as u64]);
+                scratch.iter().sum::<u64>()
+            },
+        );
+        for threads in [0, 2, 3, 8] {
+            let parallel = par_map_init(
+                threads,
+                &items,
+                Vec::<u64>::new,
+                |scratch: &mut Vec<u64>, i, &x| {
+                    scratch.clear();
+                    scratch.extend_from_slice(&[x, i as u64]);
+                    scratch.iter().sum::<u64>()
+                },
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn init_small_inputs_run_serially() {
+        let items = [1u32, 2, 3];
+        let out = par_map_init(
+            8,
+            &items,
+            || 0u32,
+            |acc, _, &x| {
+                *acc += x; // one serial state: accumulation is visible
+                *acc
+            },
+        );
+        assert_eq!(out, vec![1, 3, 6]);
     }
 
     #[test]

@@ -65,12 +65,23 @@ fn main() {
     }
 
     // Step 3: each partition is structurally simpler than the whole.
-    let whole_fds =
-        dbmine::fdmine::mine_tane(&projected, dbmine::fdmine::TaneOptions { max_lhs: Some(4) });
+    let whole_fds = dbmine::fdmine::mine_tane(
+        &projected,
+        dbmine::fdmine::TaneOptions {
+            max_lhs: Some(4),
+            ..Default::default()
+        },
+    );
     println!("\nFDs on the unpartitioned projection: {}", whole_fds.len());
     for (i, _) in part.partitions.iter().enumerate() {
         let p = part.partition_relation(&projected, i);
-        let fds = dbmine::fdmine::mine_tane(&p, dbmine::fdmine::TaneOptions { max_lhs: Some(4) });
+        let fds = dbmine::fdmine::mine_tane(
+            &p,
+            dbmine::fdmine::TaneOptions {
+                max_lhs: Some(4),
+                ..Default::default()
+            },
+        );
         println!("  partition {}: {} FDs", i + 1, fds.len());
     }
     println!(

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `fxhash` / `rustc-hash` crates.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace-local crate provides the Firefox/rustc "Fx" hash: a
+//! non-cryptographic multiplicative hash that is 5–10× cheaper than the
+//! std `HashMap` default (SipHash-1-3) on small integer keys. The FD
+//! lattice maps are keyed by `u64` attribute-set bitmasks, exactly the
+//! workload where SipHash's per-key setup dominates profiles.
+//!
+//! Not DoS-resistant — only use for maps whose keys are not
+//! attacker-controlled (every workspace call site hashes internal ids).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// The zero-state `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Multiplier from the golden-ratio family (the rustc constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox hasher: `state = (rotl(state, 5) ^ word) * SEED`
+/// per machine word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (head, tail) = rest.split_at(8);
+            self.add_word(u64::from_le_bytes(head.try_into().unwrap()));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+        // Mix in the length so zero-padded tails of different lengths
+        // ("a" vs "a\0") stay distinct.
+        self.add_word(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(12345), hash(12345));
+        assert_ne!(hash(12345), hash(12346));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(u64::MAX, "max");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.get(&u64::MAX), Some(&"max"));
+
+        let s: FxHashSet<u64> = (0..1000).collect();
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&999));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let hash = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_eq!(hash(b"abcdefgh_tail"), hash(b"abcdefgh_tail"));
+        assert_ne!(hash(b"abcdefgh_tail"), hash(b"abcdefgh_tail!"));
+        // Distinct lengths of the same prefix must differ (zero padding
+        // alone would collide "a" with "a\0").
+        assert_ne!(hash(b"a"), hash(b"a\0"));
+    }
+
+    #[test]
+    fn low_bit_diffusion_on_small_keys() {
+        // HashMap uses the low bits of the hash for bucket selection;
+        // sequential keys must not collapse into few buckets.
+        let buckets: FxHashSet<u64> = (0u64..64)
+            .map(|v| {
+                let mut h = FxHasher::default();
+                h.write_u64(v);
+                h.finish() & 0x3f
+            })
+            .collect();
+        assert!(
+            buckets.len() >= 24,
+            "only {} distinct buckets",
+            buckets.len()
+        );
+    }
+}

@@ -94,7 +94,13 @@ fn partitions_have_simpler_dependency_structure() {
     .filter_map(|n| rel.attr_id(n))
     .collect();
     let projected = rel.project(keep);
-    let whole = mine_tane(&projected, TaneOptions { max_lhs: Some(4) });
+    let whole = mine_tane(
+        &projected,
+        TaneOptions {
+            max_lhs: Some(4),
+            ..Default::default()
+        },
+    );
     let mean_lhs = |fds: &[dbmine::fdmine::Fd]| -> f64 {
         fds.iter().map(|f| f.lhs.len() as f64).sum::<f64>() / fds.len().max(1) as f64
     };
@@ -107,7 +113,13 @@ fn partitions_have_simpler_dependency_structure() {
     let part = horizontal_partition(&projected, 0.75, Some(2), 6);
     for (i, _) in part.partitions.iter().enumerate() {
         let p = part.partition_relation(&projected, i);
-        let fds = mine_tane(&p, TaneOptions { max_lhs: Some(4) });
+        let fds = mine_tane(
+            &p,
+            TaneOptions {
+                max_lhs: Some(4),
+                ..Default::default()
+            },
+        );
         // Table 5's essence: inside a homogeneous partition, the other
         // publication type's venue attributes are constant (∅ → A).
         assert!(
