@@ -1,0 +1,373 @@
+//! LIMBO bench runner: times Phase 1 (arena `DcfTree` vs the pinned
+//! `DcfTreeRef` baseline) and the end-to-end three-phase pipeline, counts
+//! heap allocations with a counting global allocator, and writes the
+//! medians to `results/BENCH_limbo.json`, the machine-read bench
+//! trajectory for the clustering subsystem (see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p dbmine-bench --bin bench_limbo [--quick|--smoke] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks workloads and sample counts; `--smoke` additionally
+//! redirects the output to `results/BENCH_limbo.smoke.json` so a CI run
+//! never clobbers the committed trajectory. Before timing anything the
+//! runner asserts the arena tree is bit-identical to the reference and
+//! the pipeline is bit-identical across thread counts.
+
+use dbmine::datagen::{dblp_sample, synthetic, DblpSpec, PlantedFd, SyntheticSpec};
+use dbmine::limbo::{run, tuple_dcfs, DcfTree, DcfTreeRef, LimboParams};
+use dbmine::relation::{Relation, TupleRows};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Counting wrapper over the system allocator: total allocation events
+/// (`alloc` + growing `realloc`) and peak live bytes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        let live = LIVE.fetch_add(layout.size(), Relaxed) + layout.size();
+        PEAK.fetch_max(live, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        if new_size >= layout.size() {
+            let grow = new_size - layout.size();
+            let live = LIVE.fetch_add(grow, Relaxed) + grow;
+            PEAK.fetch_max(live, Relaxed);
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+struct Measurement {
+    id: String,
+    samples: usize,
+    median_ms: f64,
+    min_ms: f64,
+}
+
+struct AllocCount {
+    id: String,
+    allocs: u64,
+    peak_bytes: usize,
+}
+
+/// Times `f` over `samples` runs (plus one untimed warmup) and records
+/// the median and minimum per-run wall clock.
+fn measure<R>(out: &mut Vec<Measurement>, id: &str, samples: usize, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let m = Measurement {
+        id: id.to_string(),
+        samples,
+        median_ms: times[times.len() / 2],
+        min_ms: times[0],
+    };
+    println!(
+        "{:<44} median {:>10.3} ms  min {:>10.3} ms",
+        m.id, m.median_ms, m.min_ms
+    );
+    out.push(m);
+}
+
+/// Times two implementations of the same workload with their samples
+/// interleaved (A, B, A, B, …), so slow drift in the environment — this
+/// is a single-core container — biases both sides equally instead of
+/// whichever happened to run second.
+fn measure_pair<R1, R2>(
+    out: &mut Vec<Measurement>,
+    id_a: &str,
+    id_b: &str,
+    samples: usize,
+    mut fa: impl FnMut() -> R1,
+    mut fb: impl FnMut() -> R2,
+) {
+    std::hint::black_box(fa());
+    std::hint::black_box(fb());
+    let mut ta = Vec::with_capacity(samples);
+    let mut tb = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(fa());
+        ta.push(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        std::hint::black_box(fb());
+        tb.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    for (id, mut times) in [(id_a, ta), (id_b, tb)] {
+        times.sort_by(f64::total_cmp);
+        let m = Measurement {
+            id: id.to_string(),
+            samples,
+            median_ms: times[times.len() / 2],
+            min_ms: times[0],
+        };
+        println!(
+            "{:<44} median {:>10.3} ms  min {:>10.3} ms",
+            m.id, m.median_ms, m.min_ms
+        );
+        out.push(m);
+    }
+}
+
+/// Runs `f` once, recording allocation events and peak live bytes.
+fn count<R>(out: &mut Vec<AllocCount>, id: &str, f: impl FnOnce() -> R) -> R {
+    PEAK.store(LIVE.load(Relaxed), Relaxed);
+    let before = ALLOCS.load(Relaxed);
+    let r = std::hint::black_box(f());
+    let c = AllocCount {
+        id: id.to_string(),
+        allocs: ALLOCS.load(Relaxed) - before,
+        peak_bytes: PEAK.load(Relaxed),
+    };
+    println!(
+        "{:<44} allocs {:>10}  peak {:>12} B",
+        c.id, c.allocs, c.peak_bytes
+    );
+    out.push(c);
+    r
+}
+
+fn assert_leaves_bit_identical(a: &[dbmine::ib::Dcf], b: &[dbmine::ib::Dcf], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: leaf counts diverge");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.weight.to_bits(), y.weight.to_bits(), "{what}: weights");
+        assert_eq!(x.count, y.count, "{what}: counts");
+        assert_eq!(x.cond.entries(), y.cond.entries(), "{what}: conditionals");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = smoke || args.iter().any(|a| a == "--quick");
+    let default_out = if smoke {
+        "results/BENCH_limbo.smoke.json"
+    } else {
+        "results/BENCH_limbo.json"
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(default_out)
+        .to_string();
+
+    let (sizes, samples): (&[usize], usize) = if quick {
+        (&[500], 2)
+    } else {
+        (&[2_000, 8_000], 7)
+    };
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut allocs: Vec<AllocCount> = Vec::new();
+    // Two regimes: `synth8` has a modest value domain, so DCF supports
+    // stay small and Phase 1 is allocator-bound (where the arena pays
+    // off most); `dblp` has a large sparse domain, so the shared merge
+    // arithmetic on wide ancestor summaries dominates both trees.
+    let datasets: Vec<(String, Relation)> = sizes
+        .iter()
+        .flat_map(|&n| {
+            let synth = synthetic(&SyntheticSpec {
+                n_tuples: n,
+                n_attrs: 8,
+                domain: 24,
+                skew: 0.8,
+                fds: vec![PlantedFd {
+                    determinant: 0,
+                    dependents: vec![1, 2],
+                }],
+                noise: 0.0,
+                seed: 42,
+            });
+            let dblp = dblp_sample(&DblpSpec {
+                n_tuples: n,
+                ..DblpSpec::small()
+            });
+            [(format!("synth8/{n}"), synth), (format!("dblp/{n}"), dblp)]
+        })
+        .collect();
+    for (name, rel) in &datasets {
+        let objects = tuple_dcfs(rel);
+        let mi = TupleRows::build(rel).mutual_information();
+        let params = LimboParams::with_phi(1.0);
+
+        // Phase 1 at two summary accuracies: φ = 1 (the paper's default
+        // regime) and φ = 4 (coarse summaries, where nearly every insert
+        // is absorbed and the allocation-free merge path dominates).
+        for phi in [1.0f64, 4.0] {
+            let tau = phi * mi / objects.len() as f64;
+
+            // Bit-identity gate: the arena tree must reproduce the
+            // reference exactly before its timings mean anything. The
+            // arena side streams borrowed objects (`insert_ref`), exactly
+            // as the timed workload below does.
+            let mut arena = DcfTree::new(params.branching, tau);
+            let mut reference = DcfTreeRef::new(params.branching, tau);
+            for o in &objects {
+                arena.insert_ref(o);
+                reference.insert(o.clone());
+            }
+            println!(
+                "{name} phi{phi}: {} objects -> {} leaves, height {}",
+                objects.len(),
+                arena.n_leaf_entries(),
+                arena.height()
+            );
+            assert_leaves_bit_identical(&arena.into_leaves(), &reference.leaves(), name);
+
+            measure_pair(
+                &mut results,
+                &format!("phase1_arena/{name}/phi{phi}"),
+                &format!("phase1_reference/{name}/phi{phi}"),
+                samples,
+                || {
+                    let mut t = DcfTree::new(params.branching, tau);
+                    for o in &objects {
+                        t.insert_ref(o);
+                    }
+                    t.n_leaf_entries()
+                },
+                || {
+                    let mut t = DcfTreeRef::new(params.branching, tau);
+                    for o in &objects {
+                        t.insert(o.clone());
+                    }
+                    t.n_leaf_entries()
+                },
+            );
+            count(
+                &mut allocs,
+                &format!("phase1_arena/{name}/phi{phi}"),
+                || {
+                    let mut t = DcfTree::new(params.branching, tau);
+                    for o in &objects {
+                        t.insert_ref(o);
+                    }
+                    t.n_leaf_entries()
+                },
+            );
+            count(
+                &mut allocs,
+                &format!("phase1_reference/{name}/phi{phi}"),
+                || {
+                    let mut t = DcfTreeRef::new(params.branching, tau);
+                    for o in &objects {
+                        t.insert(o.clone());
+                    }
+                    t.n_leaf_entries()
+                },
+            );
+        }
+
+        // End-to-end pipeline, with the threads knob; the parallel runs
+        // must be bit-identical to the serial one.
+        let tau = params.phi * mi / objects.len() as f64;
+        let k = 5;
+        let serial = run(&objects, mi, k, params);
+        for threads in [2usize, 4] {
+            let par = run(&objects, mi, k, params.threads(threads));
+            assert_eq!(
+                serial.assignments, par.assignments,
+                "pipeline diverges at {threads} threads"
+            );
+            assert_leaves_bit_identical(
+                &serial.clustering.clusters,
+                &par.clustering.clusters,
+                &format!("pipeline threads={threads}"),
+            );
+        }
+        measure(&mut results, &format!("pipeline/{name}"), samples, || {
+            run(&objects, mi, k, params)
+        });
+        for threads in [2usize, 4] {
+            measure(
+                &mut results,
+                &format!("pipeline_threads{threads}/{name}"),
+                samples,
+                || run(&objects, mi, k, params.threads(threads)),
+            );
+        }
+        count(&mut allocs, &format!("pipeline/{name}"), || {
+            run(&objects, mi, k, params)
+        });
+        count(&mut allocs, &format!("pipeline_reference/{name}"), || {
+            // The pre-arena pipeline: reference tree, cloned leaf export,
+            // then the same Phases 2 and 3.
+            let mut t = DcfTreeRef::new(params.branching, tau);
+            for o in &objects {
+                t.insert(o.clone());
+            }
+            let model = dbmine::limbo::LimboModel {
+                leaves: t.leaves(),
+                threshold: tau,
+                mutual_information: mi,
+                n_objects: objects.len(),
+            };
+            let clustering = dbmine::limbo::phase2_with(&model, k, 1);
+            dbmine::limbo::phase3_with(objects.iter(), &clustering, 1)
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"limbo_phase1\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"workloads\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"samples\": {}, \"median_ms\": {:.4}, \"min_ms\": {:.4}}}",
+            m.id, m.samples, m.median_ms, m.min_ms
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"allocations\": [\n");
+    for (i, c) in allocs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"allocs\": {}, \"peak_bytes\": {}}}",
+            c.id, c.allocs, c.peak_bytes
+        );
+        json.push_str(if i + 1 < allocs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! because the cache recomputes every candidate loss with the same
 //! floating-point argument order the reference heap stored it with.
 
-use crate::dcf::Dcf;
+use crate::dcf::{Dcf, MergeScratch};
 use crate::dendrogram::Dendrogram;
 use dbmine_infotheory::entropy;
 use std::cmp::Ordering;
@@ -235,6 +235,9 @@ pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
     let mut stats = Vec::with_capacity(q - k);
     let mut cum_loss = 0.0;
     let mut merge_step: u32 = 0;
+    // One scratch for the whole merge loop: every DCF merge is
+    // allocation-free in steady state (see `Dcf::merge_in_place`).
+    let mut merge_scratch = MergeScratch::new();
 
     while alive > k {
         let (loss, a, b) = loop {
@@ -251,7 +254,7 @@ pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
         let cb = slots[b].take().expect("validated above");
         let ca = slots[a].as_mut().expect("validated above");
         let (wa, wb) = (ca.weight, cb.weight);
-        ca.merge_in_place(&cb);
+        ca.merge_in_place(&cb, &mut merge_scratch);
         let w_star = ca.weight;
         merge_step += 1;
         last_merged[a] = merge_step;
@@ -408,7 +411,9 @@ pub fn aib_reference(inputs: Vec<Dcf>, k: usize) -> AibResult {
         let cj = slots[j].take().expect("validated above");
         let ci = slots[i].as_mut().expect("validated above");
         let (wi, wj) = (ci.weight, cj.weight);
-        ci.merge_in_place(&cj);
+        // Reference path: the original allocating merge (kept verbatim —
+        // this function is the bit-identity oracle for `aib`).
+        *ci = ci.merge(&cj);
         let w_star = ci.weight;
         gen[i] += 1;
         gen[j] += 1;

@@ -2,6 +2,25 @@
 
 use dbmine_infotheory::{merge_information_loss, SparseDist};
 
+/// Caller-owned scratch buffer for [`Dcf::merge_in_place`].
+///
+/// One instance threaded through a merge loop (AIB's merge/rescan loop,
+/// LIMBO Phase 1 inserts) makes every DCF merge allocation-free in
+/// steady state: the conditional merge ping-pongs between the cluster's
+/// own buffer and this one, so after a few merges both have grown to the
+/// working support size and no further allocation happens.
+#[derive(Clone, Debug, Default)]
+pub struct MergeScratch {
+    buf: Vec<(u32, f64)>,
+}
+
+impl MergeScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The sufficient statistics of a cluster `c`:
 /// `DCF(c) = (p(c), p(T|c))` — its probability mass and its conditional
 /// distribution over the *expression* variable `T`.
@@ -59,6 +78,10 @@ impl Dcf {
     /// `p(c*) = p(c1) + p(c2)`,
     /// `p(T|c*) = p(c1)/p(c*)·p(T|c1) + p(c2)/p(c*)·p(T|c2)`,
     /// `aux(c*) = aux(c1) + aux(c2)`.
+    ///
+    /// Allocates the merged vectors; the clustering hot paths use
+    /// [`Dcf::merge_in_place`] and this function is kept as its pinned
+    /// bit-identity reference.
     pub fn merge(&self, other: &Dcf) -> Dcf {
         let w = self.weight + other.weight;
         let cond = if w > 0.0 {
@@ -76,9 +99,28 @@ impl Dcf {
         }
     }
 
-    /// Merges `other` into `self` in place.
-    pub fn merge_in_place(&mut self, other: &Dcf) {
-        *self = self.merge(other);
+    /// Merges `other` into `self` in place, without allocating: the
+    /// conditional is merged through `scratch` (swap-based, see
+    /// [`SparseDist::merge_from`]) and the aux counts are summed with the
+    /// in-place two-pointer `add_assign`.
+    ///
+    /// Bit-identical to `*self = self.merge(other)` — regression- and
+    /// property-tested against that pinned reference.
+    pub fn merge_in_place(&mut self, other: &Dcf, scratch: &mut MergeScratch) {
+        let w = self.weight + other.weight;
+        if w > 0.0 {
+            self.cond.merge_from(
+                self.weight / w,
+                &other.cond,
+                other.weight / w,
+                &mut scratch.buf,
+            );
+        } else {
+            self.cond = SparseDist::new();
+        }
+        self.aux.add_assign(&other.aux);
+        self.weight = w;
+        self.count += other.count;
     }
 }
 
@@ -145,6 +187,40 @@ mod tests {
         let b = Dcf::singleton(0.3, d(&[(1, 1.0)]));
         assert!(a.distance(&b) > 0.0);
         assert!((a.distance(&b) - b.distance(&a)).abs() < EPS);
+    }
+
+    #[test]
+    fn merge_in_place_is_bit_identical_to_merge() {
+        let mut scratch = MergeScratch::new();
+        let cases = [
+            (
+                Dcf::singleton_with_aux(0.6, d(&[(0, 0.25), (5, 0.75)]), d(&[(0, 2.0)])),
+                Dcf::singleton_with_aux(0.4, d(&[(2, 1.0)]), d(&[(0, 1.0), (3, 4.0)])),
+            ),
+            (
+                Dcf::singleton(0.0, d(&[(0, 1.0)])),
+                Dcf::singleton(0.0, d(&[(1, 1.0)])),
+            ),
+            (
+                Dcf::singleton(1.0 / 3.0, d(&[(0, 0.4), (1, 0.6)])),
+                Dcf::singleton(2.0 / 3.0, d(&[(1, 1.0)])),
+            ),
+        ];
+        for (a, b) in cases {
+            let reference = a.merge(&b);
+            let mut m = a.clone();
+            m.merge_in_place(&b, &mut scratch);
+            assert_eq!(m.weight.to_bits(), reference.weight.to_bits());
+            assert_eq!(m.count, reference.count);
+            assert_eq!(m.cond.entries(), reference.cond.entries());
+            assert_eq!(m.cond.total().to_bits(), reference.cond.total().to_bits());
+            assert_eq!(m.aux.entries(), reference.aux.entries());
+            // And chained: merge the reference back in, both ways.
+            let chained_ref = m.merge(&reference);
+            m.merge_in_place(&reference, &mut scratch);
+            assert_eq!(m.weight.to_bits(), chained_ref.weight.to_bits());
+            assert_eq!(m.cond.entries(), chained_ref.cond.entries());
+        }
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod dendrogram;
 
 pub use aib::{aib, aib_reference, aib_with, AibResult, KStat};
 pub use assign::{assign_all, assign_all_with, nearest};
-pub use dcf::Dcf;
+pub use dcf::{Dcf, MergeScratch};
 pub use dendrogram::{Dendrogram, Merge};

@@ -139,6 +139,11 @@ impl SparseDist {
     /// This is the workhorse of the Information Bottleneck merge,
     /// Equation (2) of the paper:
     /// `p(T|c*) = p(ci)/p(c*) · p(T|ci) + p(cj)/p(c*) · p(T|cj)`.
+    ///
+    /// Allocates a fresh vector per call; the clustering hot paths use
+    /// [`SparseDist::weighted_sum_into`] / [`SparseDist::merge_from`]
+    /// instead, and this function is kept as their pinned bit-identity
+    /// reference (see the property tests).
     pub fn weighted_sum(a: &Self, wa: f64, b: &Self, wb: f64) -> Self {
         let mut entries = Vec::with_capacity(a.entries.len() + b.entries.len());
         let (mut ia, mut ib) = (0, 0);
@@ -168,13 +173,162 @@ impl SparseDist {
         Self { entries, total }
     }
 
+    /// [`SparseDist::weighted_sum`] written into a caller-owned output
+    /// vector: `out` becomes `wa * a + wb * b` without allocating (beyond
+    /// growing `out`'s buffer once to the union support size).
+    ///
+    /// Bit-identical to `weighted_sum` — same merge pass, same zero
+    /// dropping, same left-to-right total summation (property-tested).
+    pub fn weighted_sum_into(a: &Self, wa: f64, b: &Self, wb: f64, out: &mut Self) {
+        out.entries.clear();
+        merge_into(&a.entries, wa, &b.entries, wb, &mut out.entries);
+        out.entries.retain(|&(_, w)| w != 0.0);
+        out.total = out.entries.iter().map(|&(_, w)| w).sum();
+    }
+
+    /// Replaces `self` with `w_self * self + w_other * other`, merging
+    /// through the caller-owned `scratch` buffer and swapping it in.
+    ///
+    /// The buffer that previously backed `self` ends up in `scratch`, so a
+    /// caller looping over merges (the AIB merge loop, DCF-tree inserts)
+    /// reuses two buffers for the whole run instead of allocating one
+    /// vector per merge. Bit-identical to [`SparseDist::weighted_sum`].
+    pub fn merge_from(
+        &mut self,
+        w_self: f64,
+        other: &Self,
+        w_other: f64,
+        scratch: &mut Vec<(u32, f64)>,
+    ) {
+        scratch.clear();
+        // Fast path for the clustering absorb pattern: when `other`'s
+        // support is contained in ours, no index structure changes — scale
+        // every weight by `w_self` in one sequential pass and add
+        // `w_other·b` at the overlap positions. Each entry still computes
+        // `w_self·a + w_other·b` in that operand order, so the result is
+        // bit-identical to the merge pass below. The probe records the
+        // overlap positions in `scratch` (as `(position, b)` pairs) so the
+        // support check and the add share one round of binary searches.
+        if other.entries.len() <= self.entries.len() {
+            let mut lo = 0usize;
+            let mut subset = true;
+            for &(i, vb) in &other.entries {
+                match self.entries[lo..].binary_search_by_key(&i, |&(j, _)| j) {
+                    Ok(p) => {
+                        let pos = lo + p;
+                        scratch.push((pos as u32, vb));
+                        lo = pos + 1;
+                    }
+                    Err(_) => {
+                        subset = false;
+                        break;
+                    }
+                }
+            }
+            if subset {
+                // One fused pass: scale, add the overlaps, compact away
+                // zeros and accumulate the total. The write cursor never
+                // passes the read cursor, so the in-place compaction is
+                // safe.
+                let mut out = 0usize;
+                let mut k = 0usize;
+                let mut total = 0.0;
+                for i in 0..self.entries.len() {
+                    let (idx, va) = self.entries[i];
+                    let mut w = w_self * va;
+                    if k < scratch.len() && scratch[k].0 as usize == i {
+                        w += w_other * scratch[k].1;
+                        k += 1;
+                    }
+                    if w != 0.0 {
+                        self.entries[out] = (idx, w);
+                        total += w;
+                        out += 1;
+                    }
+                }
+                self.entries.truncate(out);
+                self.total = total;
+                scratch.clear();
+                return;
+            }
+            scratch.clear();
+        }
+        merge_into(&self.entries, w_self, &other.entries, w_other, scratch);
+        scratch.retain(|&(_, w)| w != 0.0);
+        std::mem::swap(&mut self.entries, scratch);
+        self.total = self.entries.iter().map(|&(_, w)| w).sum();
+    }
+
     /// Adds `other` element-wise into `self` (used for count vectors such as
     /// the ADCF `O(c*) = Σ O(c)` aggregation of Section 6.2).
+    ///
+    /// Runs in place with a backward two-pointer merge — no temporary
+    /// vector, no work at all when `other` is empty, a single append when
+    /// the supports do not interleave. Bit-identical to the old
+    /// `weighted_sum(self, 1.0, other, 1.0)` path (property-tested):
+    /// multiplying by 1.0 and re-summing the merged entries left to right
+    /// is exactly what this computes.
     pub fn add_assign(&mut self, other: &Self) {
         if other.is_empty() {
             return;
         }
-        *self = Self::weighted_sum(self, 1.0, other, 1.0);
+        if let (Some(&(last, _)), Some(&(first, _))) = (self.entries.last(), other.entries.first())
+        {
+            if last < first {
+                // Disjoint, `other` strictly after `self`: plain append.
+                self.entries.extend_from_slice(&other.entries);
+            } else {
+                self.merge_back(&other.entries);
+            }
+        } else {
+            // `self` is empty (`other` is not, checked above).
+            self.entries.extend_from_slice(&other.entries);
+        }
+        self.entries.retain(|&(_, w)| w != 0.0);
+        self.total = self.entries.iter().map(|&(_, w)| w).sum();
+    }
+
+    /// Backward in-place merge of `other` into `self.entries`, summing
+    /// weights on equal indices. Caller re-establishes `total` and drops
+    /// zeros afterwards.
+    fn merge_back(&mut self, other: &[(u32, f64)]) {
+        let n = self.entries.len();
+        let m = other.len();
+        self.entries.resize(n + m, (0, 0.0));
+        let (mut i, mut j, mut k) = (n, m, n + m);
+        while i > 0 && j > 0 {
+            let (ka, va) = self.entries[i - 1];
+            let (kb, vb) = other[j - 1];
+            k -= 1;
+            self.entries[k] = match ka.cmp(&kb) {
+                std::cmp::Ordering::Greater => {
+                    i -= 1;
+                    (ka, va)
+                }
+                std::cmp::Ordering::Less => {
+                    j -= 1;
+                    (kb, vb)
+                }
+                std::cmp::Ordering::Equal => {
+                    i -= 1;
+                    j -= 1;
+                    (ka, va + vb)
+                }
+            };
+        }
+        while j > 0 {
+            k -= 1;
+            j -= 1;
+            self.entries[k] = other[j];
+        }
+        // Remaining `self` entries (0..i) are already in their final
+        // place; the merged tail sits at k..n+m with `k - i` equal to the
+        // number of equal-index pairs collapsed. Close the gap.
+        let merged = n + m - k + i;
+        if k > i {
+            self.entries.copy_within(k.., i);
+        }
+        self.entries.truncate(merged);
     }
 
     /// Consumes the vector, returning its raw entries.
@@ -196,13 +350,75 @@ impl SparseDist {
     }
 
     /// Maximum absolute difference against another sparse vector.
+    ///
+    /// Streams both entry lists with two pointers — no difference vector
+    /// is materialized. Pinned bit-identical to the old
+    /// `weighted_sum(self, 1.0, other, -1.0)` + fold path by regression
+    /// and property tests: `a - b` is IEEE-identical to
+    /// `1.0*a + (-1.0)*b`, and the fold visits the same values in the
+    /// same index order.
     pub fn linf_distance(&self, other: &Self) -> f64 {
-        let diff = Self::weighted_sum(self, 1.0, other, -1.0);
-        diff.entries
-            .iter()
-            .map(|&(_, w)| w.abs())
-            .fold(0.0, f64::max)
+        let (ae, be) = (&self.entries, &other.entries);
+        let mut max = 0.0f64;
+        let (mut ia, mut ib) = (0, 0);
+        while ia < ae.len() && ib < be.len() {
+            let (ka, va) = ae[ia];
+            let (kb, vb) = be[ib];
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    max = max.max(va.abs());
+                    ia += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    max = max.max(vb.abs());
+                    ib += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    max = max.max((va - vb).abs());
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        for &(_, va) in &ae[ia..] {
+            max = max.max(va.abs());
+        }
+        for &(_, vb) in &be[ib..] {
+            max = max.max(vb.abs());
+        }
+        max
     }
+}
+
+/// The `wa * a + wb * b` merge pass shared by
+/// [`SparseDist::weighted_sum_into`] and [`SparseDist::merge_from`]:
+/// pushes the weighted union onto `out` in index order, summing weights
+/// on equal indices exactly as [`SparseDist::weighted_sum`] does. Zero
+/// dropping and total computation are left to the caller.
+fn merge_into(ae: &[(u32, f64)], wa: f64, be: &[(u32, f64)], wb: f64, out: &mut Vec<(u32, f64)>) {
+    out.reserve(ae.len() + be.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < ae.len() && ib < be.len() {
+        let (ka, va) = ae[ia];
+        let (kb, vb) = be[ib];
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => {
+                out.push((ka, wa * va));
+                ia += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((kb, wb * vb));
+                ib += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((ka, wa * va + wb * vb));
+                ia += 1;
+                ib += 1;
+            }
+        }
+    }
+    out.extend(ae[ia..].iter().map(|&(k, v)| (k, wa * v)));
+    out.extend(be[ib..].iter().map(|&(k, v)| (k, wb * v)));
 }
 
 impl fmt::Debug for SparseDist {
@@ -285,6 +501,64 @@ mod tests {
         let mut o = SparseDist::from_pairs(vec![(0, 2.0)]);
         o.add_assign(&SparseDist::from_pairs(vec![(0, 1.0), (3, 4.0)]));
         assert_eq!(o.entries(), &[(0, 3.0), (3, 4.0)]);
+    }
+
+    #[test]
+    fn weighted_sum_into_matches_reference() {
+        let a = SparseDist::from_pairs(vec![(0, 0.5), (2, 0.5)]);
+        let b = SparseDist::from_pairs(vec![(1, 0.25), (2, 0.75)]);
+        let reference = SparseDist::weighted_sum(&a, 0.3, &b, 0.7);
+        let mut out = SparseDist::new();
+        SparseDist::weighted_sum_into(&a, 0.3, &b, 0.7, &mut out);
+        assert_eq!(out.entries(), reference.entries());
+        assert_eq!(out.total().to_bits(), reference.total().to_bits());
+        // The output buffer is reused (cleared) across calls.
+        SparseDist::weighted_sum_into(&b, 1.0, &a, 0.0, &mut out);
+        assert_eq!(out.entries(), b.entries());
+    }
+
+    #[test]
+    fn merge_from_swaps_scratch() {
+        let mut a = SparseDist::from_pairs(vec![(0, 0.5), (2, 0.5)]);
+        let b = SparseDist::from_pairs(vec![(1, 0.25), (2, 0.75)]);
+        let reference = SparseDist::weighted_sum(&a, 0.4, &b, 0.6);
+        let mut scratch = Vec::new();
+        a.merge_from(0.4, &b, 0.6, &mut scratch);
+        assert_eq!(a.entries(), reference.entries());
+        assert_eq!(a.total().to_bits(), reference.total().to_bits());
+        // scratch now owns a's old buffer and is reusable.
+        a.merge_from(1.0, &b, 0.0, &mut scratch);
+        assert!(a.is_normalized(1e-9));
+    }
+
+    #[test]
+    fn add_assign_interleaved_matches_reference() {
+        type Pairs = [(u32, f64)];
+        let cases: &[(&Pairs, &Pairs)] = &[
+            (&[(0, 2.0), (5, 1.0)], &[(0, 1.0), (3, 4.0), (9, 2.0)]),
+            (&[(3, 1.0)], &[(0, 1.0), (1, 1.0)]), // other strictly before
+            (&[(0, 1.0)], &[(5, 1.0)]),           // other strictly after
+            (&[], &[(1, 2.0)]),                   // self empty
+            (&[(1, 2.0)], &[]),                   // other empty
+            (&[(1, 2.0), (2, -2.0)], &[(2, 2.0), (3, 1.0)]), // cancellation → dropped zero
+        ];
+        for (sa, sb) in cases {
+            let mut x = SparseDist::from_sorted(sa.to_vec());
+            let b = SparseDist::from_sorted(sb.to_vec());
+            let reference = SparseDist::weighted_sum(&x, 1.0, &b, 1.0);
+            x.add_assign(&b);
+            assert_eq!(x.entries(), reference.entries());
+            assert_eq!(x.total().to_bits(), reference.total().to_bits());
+        }
+    }
+
+    #[test]
+    fn linf_distance_matches_materialized_reference() {
+        let a = SparseDist::from_pairs(vec![(0, 0.7), (1, 0.3), (7, 0.1)]);
+        let b = SparseDist::from_pairs(vec![(0, 0.4), (2, 0.6), (7, 0.1)]);
+        let diff = SparseDist::weighted_sum(&a, 1.0, &b, -1.0);
+        let reference = diff.iter().map(|(_, w)| w.abs()).fold(0.0, f64::max);
+        assert_eq!(a.linf_distance(&b).to_bits(), reference.to_bits());
     }
 
     #[test]

@@ -139,4 +139,65 @@ proptest! {
         let d = SparseDist::from_pairs(pairs);
         prop_assert!((d.total() - expect).abs() < 1e-9);
     }
+
+    /// `weighted_sum_into` and `merge_from` must reproduce the pinned
+    /// `weighted_sum` reference bit for bit: same entries, same weight
+    /// bits, same cached total bits — including weight 0 (which drops a
+    /// whole side to zero entries that must be retained-out identically).
+    #[test]
+    fn scratch_merges_are_bit_identical_to_weighted_sum(
+        p in arb_dist(), q in arb_dist(), wa in 0.0f64..1.0, wb in 0.0f64..1.0
+    ) {
+        let reference = SparseDist::weighted_sum(&p, wa, &q, wb);
+
+        let mut out = SparseDist::from_pairs(vec![(7, 3.0)]); // stale content must be cleared
+        SparseDist::weighted_sum_into(&p, wa, &q, wb, &mut out);
+        prop_assert_eq!(out.support(), reference.support());
+        for ((ia, va), (ib, vb)) in out.iter().zip(reference.iter()) {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        prop_assert_eq!(out.total().to_bits(), reference.total().to_bits());
+
+        let mut merged = p.clone();
+        let mut scratch = Vec::new();
+        merged.merge_from(wa, &q, wb, &mut scratch);
+        prop_assert_eq!(merged.support(), reference.support());
+        for ((ia, va), (ib, vb)) in merged.iter().zip(reference.iter()) {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        prop_assert_eq!(merged.total().to_bits(), reference.total().to_bits());
+    }
+
+    /// The in-place `add_assign` must match the old
+    /// `weighted_sum(self, 1.0, other, 1.0)` path bit for bit, across
+    /// overlapping, disjoint and empty supports (empty vectors arise from
+    /// the 0-length pair lists below).
+    #[test]
+    fn add_assign_is_bit_identical_to_weighted_sum(
+        pa in proptest::collection::vec((0u32..24, 0.01f64..2.0), 0..12),
+        pb in proptest::collection::vec((0u32..24, 0.01f64..2.0), 0..12),
+    ) {
+        let a = SparseDist::from_pairs(pa);
+        let b = SparseDist::from_pairs(pb);
+        let reference = SparseDist::weighted_sum(&a, 1.0, &b, 1.0);
+        let mut sum = a.clone();
+        sum.add_assign(&b);
+        prop_assert_eq!(sum.support(), reference.support());
+        for ((ia, va), (ib, vb)) in sum.iter().zip(reference.iter()) {
+            prop_assert_eq!(ia, ib);
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        prop_assert_eq!(sum.total().to_bits(), reference.total().to_bits());
+    }
+
+    /// Streaming `linf_distance` ≡ the old materialize-the-difference
+    /// implementation, bit for bit.
+    #[test]
+    fn linf_distance_is_bit_identical_to_materialized(p in arb_dist(), q in arb_dist()) {
+        let diff = SparseDist::weighted_sum(&p, 1.0, &q, -1.0);
+        let reference = diff.iter().map(|(_, w)| w.abs()).fold(0.0, f64::max);
+        prop_assert_eq!(p.linf_distance(&q).to_bits(), reference.to_bits());
+    }
 }

@@ -24,10 +24,13 @@ pub mod double;
 pub mod input;
 pub mod pipeline;
 pub mod tree;
+pub mod tree_reference;
 
 pub use double::reexpress_over_clusters;
 pub use input::{attribute_dcfs, tuple_dcfs, tuple_dcfs_with, value_dcfs, value_dcfs_with};
 pub use pipeline::{
-    phase1, phase2, phase2_with, phase3, phase3_with, run, Limbo, LimboModel, LimboParams,
+    phase1, phase1_ref, phase2, phase2_with, phase3, phase3_with, run, Limbo, LimboModel,
+    LimboParams,
 };
-pub use tree::DcfTree;
+pub use tree::{DcfTree, Leaves};
+pub use tree_reference::DcfTreeRef;

@@ -133,7 +133,40 @@ pub fn phase1(
         "n_objects must match the stream length"
     );
     LimboModel {
-        leaves: tree.leaves(),
+        leaves: tree.into_leaves(),
+        threshold,
+        mutual_information,
+        n_objects: inserted,
+    }
+}
+
+/// [`phase1`] over borrowed objects: absorbed inserts never clone the
+/// incoming DCF (see [`DcfTree::insert_ref`]), so in the summary regime
+/// this path performs no per-object allocation. Bit-identical to
+/// [`phase1`] over the same stream.
+pub fn phase1_ref<'a>(
+    objects: impl IntoIterator<Item = &'a Dcf>,
+    mutual_information: f64,
+    n_objects: usize,
+    params: LimboParams,
+) -> LimboModel {
+    let threshold = if n_objects == 0 {
+        0.0
+    } else {
+        params.phi * mutual_information / n_objects as f64
+    };
+    let mut tree = DcfTree::new(params.branching, threshold);
+    let mut inserted = 0usize;
+    for dcf in objects {
+        tree.insert_ref(dcf);
+        inserted += 1;
+    }
+    debug_assert_eq!(
+        inserted, n_objects,
+        "n_objects must match the stream length"
+    );
+    LimboModel {
+        leaves: tree.into_leaves(),
         threshold,
         mutual_information,
         n_objects: inserted,
@@ -182,12 +215,7 @@ pub fn phase3_with<'a>(
 /// assert_eq!(l.clustering.clusters.len(), 2);
 /// ```
 pub fn run(objects: &[Dcf], mutual_information: f64, k: usize, params: LimboParams) -> Limbo {
-    let model = phase1(
-        objects.iter().cloned(),
-        mutual_information,
-        objects.len(),
-        params,
-    );
+    let model = phase1_ref(objects.iter(), mutual_information, objects.len(), params);
     let clustering = phase2_with(&model, k, params.threads);
     let assignments = phase3_with(objects.iter(), &clustering, params.threads);
     Limbo {
@@ -256,6 +284,24 @@ mod tests {
         let total: usize = members.iter().map(Vec::len).sum();
         assert_eq!(total, 5);
         assert!(l.assignment_relative_loss() >= 0.0);
+    }
+
+    #[test]
+    fn phase1_ref_is_bit_identical_to_phase1() {
+        let rel = figure4();
+        let objects = tuple_dcfs(&rel);
+        let mi = TupleRows::build(&rel).mutual_information();
+        for phi in [0.0, 0.3, 1.0, 5.0] {
+            let params = LimboParams::with_phi(phi);
+            let owned = phase1(objects.iter().cloned(), mi, objects.len(), params);
+            let borrowed = phase1_ref(objects.iter(), mi, objects.len(), params);
+            assert_eq!(owned.leaves.len(), borrowed.leaves.len());
+            for (x, y) in owned.leaves.iter().zip(&borrowed.leaves) {
+                assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+                assert_eq!(x.count, y.count);
+                assert_eq!(x.cond.entries(), y.cond.entries());
+            }
+        }
     }
 
     #[test]

@@ -7,23 +7,46 @@
 //! loss); at the leaf, the object either merges into the closest entry —
 //! if the loss does not exceed the threshold `τ = φ·I(V;T)/|V|` — or
 //! starts a new entry, splitting overflowing nodes on the way back up.
+//!
+//! # Arena layout
+//!
+//! Entries live in a flat `pool: Vec<Entry>` and nodes in a flat
+//! `nodes: Vec<Node>`, both indexed by `u32`; a node holds only the ids
+//! of its entries. Insertion is iterative — the descent records a
+//! `(node, entry index)` path into a reused scratch vector, the incoming
+//! DCF is moved (never cloned) into the pool, and every summary refresh
+//! goes through [`Dcf::merge_in_place`] with one embedded
+//! [`MergeScratch`]. Splits recycle entry slots freed by parent
+//! restructuring through a free list. In steady state an insert that is
+//! absorbed by an existing leaf entry performs zero heap allocations.
+//!
+//! The result is pinned bit-identical to the original recursive
+//! implementation, kept as [`crate::tree_reference::DcfTreeRef`]: same
+//! leaf DCFs bit for bit, same merge decisions, same structure. The
+//! identity holds because every behavioral input is replicated exactly —
+//! descent order (`entry.dcf.distance(&incoming)`, ties to the lower
+//! index), the leaf absorb test `d <= τ`, split seeding (farthest pair in
+//! `i < j` scan order) and redistribution (`dl <= dr` against the seeds),
+//! node entry order (`swap_remove` + push), and the merge arithmetic
+//! itself (`merge_in_place` is bit-identical to the allocating `merge`).
 
-use dbmine_ib::Dcf;
+use dbmine_ib::{Dcf, MergeScratch};
 
 /// An entry of a tree node: a cluster summary, plus (for internal nodes)
 /// the child holding its constituents.
 #[derive(Clone, Debug)]
 struct Entry {
     dcf: Dcf,
-    /// Index into `DcfTree::nodes`; `usize::MAX` for leaf entries.
-    child: usize,
+    /// Index into `DcfTree::nodes`; `NO_CHILD` for leaf entries.
+    child: u32,
 }
 
-const NO_CHILD: usize = usize::MAX;
+const NO_CHILD: u32 = u32::MAX;
 
+/// A tree node: entry ids into the pool, in insertion order.
 #[derive(Clone, Debug)]
 struct Node {
-    entries: Vec<Entry>,
+    entries: Vec<u32>,
     leaf: bool,
 }
 
@@ -31,11 +54,19 @@ struct Node {
 /// information-loss merge threshold.
 #[derive(Clone, Debug)]
 pub struct DcfTree {
+    /// Flat entry arena; slots on `free` are dead and reusable.
+    pool: Vec<Entry>,
+    /// Entry slots freed by parent restructuring during splits.
+    free: Vec<u32>,
     nodes: Vec<Node>,
-    root: usize,
+    root: u32,
     branching: usize,
     threshold: f64,
     n_inserted: usize,
+    /// Descent scratch: the (node, entry index) path of the last insert.
+    path: Vec<(u32, usize)>,
+    /// Merge scratch threaded through every summary refresh.
+    scratch: MergeScratch,
 }
 
 impl DcfTree {
@@ -45,6 +76,8 @@ impl DcfTree {
         assert!(branching >= 2, "branching factor must be at least 2");
         assert!(threshold >= 0.0, "threshold must be non-negative");
         DcfTree {
+            pool: Vec::new(),
+            free: Vec::new(),
             nodes: vec![Node {
                 entries: Vec::new(),
                 leaf: true,
@@ -53,6 +86,8 @@ impl DcfTree {
             branching,
             threshold,
             n_inserted: 0,
+            path: Vec::new(),
+            scratch: MergeScratch::new(),
         }
     }
 
@@ -67,95 +102,181 @@ impl DcfTree {
     }
 
     /// Inserts one object summary (normally a singleton DCF).
+    ///
+    /// The DCF is moved into the entry pool (or merged into an existing
+    /// leaf entry) without intermediate clones.
     pub fn insert(&mut self, dcf: Dcf) {
+        if let Some(leaf) = self.descend_or_absorb(&dcf) {
+            self.insert_new_entry(leaf, dcf);
+        }
+    }
+
+    /// Inserts one object summary from a borrowed DCF.
+    ///
+    /// An insert absorbed by an existing leaf entry never touches the
+    /// incoming DCF's allocations at all; only an insert that opens a new
+    /// leaf entry clones it into the pool. In the summary regime (`φ > 0`)
+    /// absorbs dominate, so streaming borrowed objects through this
+    /// method is the allocation-free Phase 1 fast path.
+    pub fn insert_ref(&mut self, dcf: &Dcf) {
+        if let Some(leaf) = self.descend_or_absorb(dcf) {
+            self.insert_new_entry(leaf, dcf.clone());
+        }
+    }
+
+    /// Descends to the leaf closest to `dcf` and absorbs it there when the
+    /// merge loss is within threshold (refreshing every ancestor summary).
+    /// Returns the target leaf when the object was *not* absorbed and a
+    /// new entry is required; the descent path is left in `self.path`.
+    fn descend_or_absorb(&mut self, dcf: &Dcf) -> Option<u32> {
         self.n_inserted += 1;
-        if let Some((e1, e2)) = self.insert_rec(self.root, dcf) {
+
+        // Descend along the closest-entry path, recording it.
+        let mut path = std::mem::take(&mut self.path);
+        path.clear();
+        let mut node = self.root;
+        while !self.nodes[node as usize].leaf {
+            let (idx, _) = self
+                .closest_entry(node, dcf)
+                .expect("internal nodes are never empty");
+            path.push((node, idx));
+            let eid = self.nodes[node as usize].entries[idx];
+            node = self.pool[eid as usize].child;
+        }
+
+        // Leaf: absorb into the closest entry if within threshold.
+        let absorb = match self.closest_entry(node, dcf) {
+            Some((idx, d)) if d <= self.threshold => Some(idx),
+            _ => None,
+        };
+        if let Some(idx) = absorb {
+            let eid = self.nodes[node as usize].entries[idx];
+            let Self {
+                nodes,
+                pool,
+                scratch,
+                ..
+            } = self;
+            pool[eid as usize].dcf.merge_in_place(dcf, scratch);
+            // Refresh every ancestor summary with the incoming object.
+            for &(n, i) in path.iter().rev() {
+                let aid = nodes[n as usize].entries[i];
+                pool[aid as usize].dcf.merge_in_place(dcf, scratch);
+            }
+            self.path = path;
+            return None;
+        }
+        self.path = path;
+        Some(node)
+    }
+
+    /// Opens a new entry for `dcf` in `leaf` (the descent path must be in
+    /// `self.path`), splitting overflowing nodes on the way back up.
+    fn insert_new_entry(&mut self, node: u32, dcf: Dcf) {
+        let path = std::mem::take(&mut self.path);
+        let eid = self.alloc_entry(Entry {
+            dcf,
+            child: NO_CHILD,
+        });
+        self.nodes[node as usize].entries.push(eid);
+        let mut pending = if self.nodes[node as usize].entries.len() > self.branching {
+            Some(self.split(node))
+        } else {
+            None
+        };
+        for &(n, i) in path.iter().rev() {
+            match pending {
+                Some((e1, e2)) => {
+                    // Replace the split child's summary with the halves.
+                    let entries = &mut self.nodes[n as usize].entries;
+                    let old = entries.swap_remove(i);
+                    entries.push(e1);
+                    entries.push(e2);
+                    self.free.push(old);
+                    pending = if self.nodes[n as usize].entries.len() > self.branching {
+                        Some(self.split(n))
+                    } else {
+                        None
+                    };
+                }
+                None => {
+                    // Ancestors above the highest split absorb the new
+                    // object's mass into their summaries.
+                    let aid = self.nodes[n as usize].entries[i];
+                    Self::merge_pool_pair(&mut self.pool, aid, eid, &mut self.scratch);
+                }
+            }
+        }
+        if let Some((e1, e2)) = pending {
             // Root split: grow a new root.
-            let new_root = self.nodes.len();
+            let new_root = self.nodes.len() as u32;
             self.nodes.push(Node {
                 entries: vec![e1, e2],
                 leaf: false,
             });
             self.root = new_root;
         }
+        self.path = path;
     }
 
-    /// Recursive insertion; returns the replacement pair if `node` split.
-    fn insert_rec(&mut self, node: usize, dcf: Dcf) -> Option<(Entry, Entry)> {
-        if self.nodes[node].leaf {
-            return self.insert_into_leaf(node, dcf);
-        }
-        // Descend into the closest child entry.
-        let idx = self
-            .closest_entry(node, &dcf)
-            .expect("internal nodes are never empty");
-        let child = self.nodes[node].entries[idx].child;
-        match self.insert_rec(child, dcf.clone()) {
-            None => {
-                // Child absorbed the object: refresh the summary on the path.
-                self.nodes[node].entries[idx].dcf.merge_in_place(&dcf);
-                None
-            }
-            Some((e1, e2)) => {
-                let entries = &mut self.nodes[node].entries;
-                entries.swap_remove(idx);
-                entries.push(e1);
-                entries.push(e2);
-                if entries.len() > self.branching {
-                    Some(self.split(node))
-                } else {
-                    None
-                }
-            }
-        }
-    }
-
-    fn insert_into_leaf(&mut self, node: usize, dcf: Dcf) -> Option<(Entry, Entry)> {
-        if let Some(idx) = self.closest_entry(node, &dcf) {
-            let d = self.nodes[node].entries[idx].dcf.distance(&dcf);
-            if d <= self.threshold {
-                self.nodes[node].entries[idx].dcf.merge_in_place(&dcf);
-                return None;
-            }
-        }
-        self.nodes[node].entries.push(Entry {
-            dcf,
-            child: NO_CHILD,
-        });
-        if self.nodes[node].entries.len() > self.branching {
-            Some(self.split(node))
+    /// Merges pool entry `src` into pool entry `dst` in place.
+    fn merge_pool_pair(pool: &mut [Entry], dst: u32, src: u32, scratch: &mut MergeScratch) {
+        let (d, s) = (dst as usize, src as usize);
+        debug_assert_ne!(d, s);
+        let (dst_e, src_e) = if d < s {
+            let (lo, hi) = pool.split_at_mut(s);
+            (&mut lo[d], &hi[0])
         } else {
-            None
+            let (lo, hi) = pool.split_at_mut(d);
+            (&mut hi[0], &lo[s])
+        };
+        dst_e.dcf.merge_in_place(&src_e.dcf, scratch);
+    }
+
+    /// Allocates a pool slot, preferring ones freed by earlier splits.
+    fn alloc_entry(&mut self, e: Entry) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                self.pool[id as usize] = e;
+                id
+            }
+            None => {
+                let id = u32::try_from(self.pool.len()).expect("DCF-tree entry pool overflows u32");
+                self.pool.push(e);
+                id
+            }
         }
     }
 
     /// The entry of `node` closest to `dcf` by information loss
-    /// (ties to the lower index).
-    fn closest_entry(&self, node: usize, dcf: &Dcf) -> Option<usize> {
+    /// (ties to the lower index), with its distance.
+    fn closest_entry(&self, node: u32, dcf: &Dcf) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
-        for (i, e) in self.nodes[node].entries.iter().enumerate() {
-            let d = e.dcf.distance(dcf);
+        for (i, &eid) in self.nodes[node as usize].entries.iter().enumerate() {
+            let d = self.pool[eid as usize].dcf.distance(dcf);
             match best {
                 Some((_, bd)) if bd <= d => {}
                 _ => best = Some((i, d)),
             }
         }
-        best.map(|(i, _)| i)
+        best
     }
 
     /// Splits an overflowing node in two, seeding with the farthest entry
     /// pair and redistributing the rest by proximity. Returns the two
     /// summary entries for the parent.
-    fn split(&mut self, node: usize) -> (Entry, Entry) {
-        let leaf = self.nodes[node].leaf;
-        let entries = std::mem::take(&mut self.nodes[node].entries);
-        debug_assert!(entries.len() >= 2);
+    fn split(&mut self, node: u32) -> (u32, u32) {
+        let leaf = self.nodes[node as usize].leaf;
+        let ids = std::mem::take(&mut self.nodes[node as usize].entries);
+        debug_assert!(ids.len() >= 2);
 
         // Farthest pair as seeds.
         let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
-        for i in 0..entries.len() {
-            for j in (i + 1)..entries.len() {
-                let d = entries[i].dcf.distance(&entries[j].dcf);
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let d = self.pool[ids[i] as usize]
+                    .dcf
+                    .distance(&self.pool[ids[j] as usize].dcf);
                 if d > worst {
                     worst = d;
                     s1 = i;
@@ -164,109 +285,157 @@ impl DcfTree {
             }
         }
 
-        let mut left: Vec<Entry> = Vec::with_capacity(entries.len());
-        let mut right: Vec<Entry> = Vec::with_capacity(entries.len());
-        let mut rest: Vec<Entry> = Vec::with_capacity(entries.len());
-        for (i, e) in entries.into_iter().enumerate() {
-            if i == s1 {
-                left.push(e);
-            } else if i == s2 {
-                right.push(e);
-            } else {
-                rest.push(e);
+        let mut left: Vec<u32> = Vec::with_capacity(ids.len());
+        let mut right: Vec<u32> = Vec::with_capacity(ids.len());
+        left.push(ids[s1]);
+        right.push(ids[s2]);
+        for (i, &eid) in ids.iter().enumerate() {
+            if i == s1 || i == s2 {
+                continue;
             }
-        }
-        for e in rest {
-            let dl = left[0].dcf.distance(&e.dcf);
-            let dr = right[0].dcf.distance(&e.dcf);
+            let dl = self.pool[left[0] as usize]
+                .dcf
+                .distance(&self.pool[eid as usize].dcf);
+            let dr = self.pool[right[0] as usize]
+                .dcf
+                .distance(&self.pool[eid as usize].dcf);
             if dl <= dr {
-                left.push(e);
+                left.push(eid);
             } else {
-                right.push(e);
+                right.push(eid);
             }
         }
 
-        let summarize = |es: &[Entry]| {
+        fn summarize(pool: &[Entry], scratch: &mut MergeScratch, es: &[u32]) -> Dcf {
             let mut it = es.iter();
-            let mut s = it.next().expect("split halves are non-empty").dcf.clone();
-            for e in it {
-                s.merge_in_place(&e.dcf);
+            let first = *it.next().expect("split halves are non-empty");
+            let mut s = pool[first as usize].dcf.clone();
+            for &e in it {
+                s.merge_in_place(&pool[e as usize].dcf, scratch);
             }
             s
+        }
+        let (left_summary, right_summary) = {
+            let Self { pool, scratch, .. } = self;
+            (
+                summarize(pool, scratch, &left),
+                summarize(pool, scratch, &right),
+            )
         };
-        let left_summary = summarize(&left);
-        let right_summary = summarize(&right);
 
         // Reuse `node` for the left half; allocate the right half.
-        self.nodes[node] = Node {
-            entries: left,
-            leaf,
-        };
-        let right_id = self.nodes.len();
+        self.nodes[node as usize].entries = left;
+        let right_id = self.nodes.len() as u32;
         self.nodes.push(Node {
             entries: right,
             leaf,
         });
-        (
-            Entry {
-                dcf: left_summary,
-                child: node,
-            },
-            Entry {
-                dcf: right_summary,
-                child: right_id,
-            },
-        )
+        let e1 = self.alloc_entry(Entry {
+            dcf: left_summary,
+            child: node,
+        });
+        let e2 = self.alloc_entry(Entry {
+            dcf: right_summary,
+            child: right_id,
+        });
+        (e1, e2)
     }
 
-    /// The leaf-level DCFs, left to right. These are the summaries Phase 2
-    /// clusters with AIB.
+    /// Borrowed view of the leaf-level DCFs, left to right. These are the
+    /// summaries Phase 2 clusters with AIB.
+    pub fn iter_leaves(&self) -> Leaves<'_> {
+        Leaves {
+            tree: self,
+            stack: vec![(self.root, 0)],
+        }
+    }
+
+    /// The leaf-level DCFs, cloned left to right. Prefer
+    /// [`DcfTree::iter_leaves`] (borrowed) or [`DcfTree::into_leaves`]
+    /// (consuming) on hot paths.
     pub fn leaves(&self) -> Vec<Dcf> {
-        let mut out = Vec::new();
-        self.collect_leaves(self.root, &mut out);
-        out
+        self.iter_leaves().cloned().collect()
     }
 
-    fn collect_leaves(&self, node: usize, out: &mut Vec<Dcf>) {
-        let n = &self.nodes[node];
-        if n.leaf {
-            out.extend(n.entries.iter().map(|e| e.dcf.clone()));
-        } else {
-            for e in &n.entries {
-                self.collect_leaves(e.child, out);
+    /// Consumes the tree, moving the leaf-level DCFs out left to right
+    /// without cloning them.
+    pub fn into_leaves(mut self) -> Vec<Dcf> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some(top) = stack.last_mut() {
+            let (node, idx) = *top;
+            let n = &self.nodes[node as usize];
+            if idx >= n.entries.len() {
+                stack.pop();
+                continue;
+            }
+            top.1 += 1;
+            let eid = n.entries[idx] as usize;
+            if n.leaf {
+                out.push(std::mem::take(&mut self.pool[eid].dcf));
+            } else {
+                stack.push((self.pool[eid].child, 0));
             }
         }
+        out
     }
 
     /// Number of leaf entries (the size of Phase 2's input).
     pub fn n_leaf_entries(&self) -> usize {
-        self.count_leaves(self.root)
-    }
-
-    fn count_leaves(&self, node: usize) -> usize {
-        let n = &self.nodes[node];
-        if n.leaf {
-            n.entries.len()
-        } else {
-            n.entries.iter().map(|e| self.count_leaves(e.child)).sum()
-        }
+        self.iter_leaves().count()
     }
 
     /// Height of the tree (1 for a single leaf node).
     pub fn height(&self) -> usize {
         let mut h = 1;
         let mut node = self.root;
-        while !self.nodes[node].leaf {
+        while !self.nodes[node as usize].leaf {
             h += 1;
-            node = self.nodes[node].entries[0].child;
+            let eid = self.nodes[node as usize].entries[0];
+            node = self.pool[eid as usize].child;
         }
         h
+    }
+}
+
+/// Borrowing left-to-right iterator over a tree's leaf DCFs.
+pub struct Leaves<'a> {
+    tree: &'a DcfTree,
+    /// Explicit DFS stack of (node, next entry index).
+    stack: Vec<(u32, usize)>,
+}
+
+impl<'a> Iterator for Leaves<'a> {
+    type Item = &'a Dcf;
+
+    fn next(&mut self) -> Option<&'a Dcf> {
+        loop {
+            let (node, idx) = match self.stack.last_mut() {
+                None => return None,
+                Some(top) => {
+                    let cur = *top;
+                    top.1 += 1;
+                    cur
+                }
+            };
+            let n = &self.tree.nodes[node as usize];
+            if idx >= n.entries.len() {
+                self.stack.pop();
+                continue;
+            }
+            let e = &self.tree.pool[n.entries[idx] as usize];
+            if n.leaf {
+                return Some(&e.dcf);
+            }
+            self.stack.push((e.child, 0));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree_reference::DcfTreeRef;
     use dbmine_infotheory::SparseDist;
 
     fn singleton(w: f64, pairs: &[(u32, f64)]) -> Dcf {
@@ -373,5 +542,94 @@ mod tests {
         assert_eq!(t.n_leaf_entries(), 0);
         assert!(t.leaves().is_empty());
         assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn leaf_views_agree() {
+        let mut t = DcfTree::new(3, 0.01);
+        for i in 0..60u32 {
+            t.insert(singleton(1.0 / 60.0, &[(i % 7, 0.8), (i % 11, 0.2)]));
+        }
+        let cloned = t.leaves();
+        let borrowed: Vec<&Dcf> = t.iter_leaves().collect();
+        assert_eq!(cloned.len(), borrowed.len());
+        for (c, b) in cloned.iter().zip(&borrowed) {
+            assert_eq!(c.weight.to_bits(), b.weight.to_bits());
+            assert_eq!(c.cond.entries(), b.cond.entries());
+            assert_eq!(c.count, b.count);
+        }
+        let moved = t.into_leaves();
+        assert_eq!(cloned.len(), moved.len());
+        for (c, m) in cloned.iter().zip(&moved) {
+            assert_eq!(c.weight.to_bits(), m.weight.to_bits());
+            assert_eq!(c.cond.entries(), m.cond.entries());
+            assert_eq!(c.aux.entries(), m.aux.entries());
+        }
+    }
+
+    /// Deterministic xorshift stream of pseudo-random singleton DCFs.
+    fn random_objects(seed: u64, n: usize, dom: u32) -> Vec<Dcf> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        (0..n)
+            .map(|_| {
+                let k = 1 + (next() % 4) as usize;
+                let mut pairs: Vec<(u32, f64)> = (0..k)
+                    .map(|_| ((next() % u64::from(dom)) as u32, 1.0 + (next() % 9) as f64))
+                    .collect();
+                pairs.sort_by_key(|&(i, _)| i);
+                pairs.dedup_by_key(|&mut (i, _)| i);
+                let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+                for p in &mut pairs {
+                    p.1 /= total;
+                }
+                Dcf::singleton(1.0 / n as f64, SparseDist::from_pairs(pairs))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_on_random_streams() {
+        for (seed, branching, threshold) in [
+            (0x5eed1u64, 2usize, 0.0f64),
+            (0x5eed2, 3, 0.005),
+            (0x5eed3, 4, 0.05),
+            (0x5eed4, 6, 0.5),
+        ] {
+            let objects = random_objects(seed, 120, 12);
+            let mut arena = DcfTree::new(branching, threshold);
+            let mut arena_ref = DcfTree::new(branching, threshold);
+            let mut reference = DcfTreeRef::new(branching, threshold);
+            for o in &objects {
+                arena.insert(o.clone());
+                arena_ref.insert_ref(o);
+                reference.insert(o.clone());
+            }
+            assert_eq!(arena.n_leaf_entries(), reference.n_leaf_entries());
+            assert_eq!(arena_ref.n_leaf_entries(), reference.n_leaf_entries());
+            assert_eq!(arena.height(), reference.height());
+            for (x, y) in arena_ref.leaves().iter().zip(&arena.leaves()) {
+                assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+                assert_eq!(x.cond.entries(), y.cond.entries());
+            }
+            let a = arena.leaves();
+            let r = reference.leaves();
+            assert_eq!(a.len(), r.len());
+            for (x, y) in a.iter().zip(&r) {
+                assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+                assert_eq!(x.count, y.count);
+                assert_eq!(x.cond.entries(), y.cond.entries());
+                assert_eq!(
+                    x.cond.total().to_bits(),
+                    y.cond.total().to_bits(),
+                    "totals diverge at seed {seed:#x}"
+                );
+            }
+        }
     }
 }

@@ -4,7 +4,7 @@
 
 use dbmine_ib::{aib, Dcf};
 use dbmine_infotheory::{mutual_information, SparseDist};
-use dbmine_limbo::{phase1, phase2, phase3, LimboParams};
+use dbmine_limbo::{phase1, phase2, phase3, DcfTree, DcfTreeRef, LimboParams};
 use proptest::prelude::*;
 
 /// Random singleton DCFs over a small domain, with equal masses.
@@ -25,6 +25,29 @@ fn arb_objects() -> impl Strategy<Value = Vec<Dcf>> {
             })
             .collect()
     })
+}
+
+/// Insert streams seeded from [`arb_objects`] with adversarial edits
+/// mixed in: duplicated conditionals (forcing exact-tie descents) and
+/// zero-weight DCFs (exercising the `w = 0` merge branch).
+fn arb_stream() -> impl Strategy<Value = Vec<Dcf>> {
+    (
+        arb_objects(),
+        proptest::collection::vec((0usize..1024, 0usize..2), 0..5),
+    )
+        .prop_map(|(mut objects, edits)| {
+            for (pos, kind) in edits {
+                if kind == 0 {
+                    // Duplicate an earlier object's conditional verbatim.
+                    let dup = objects[pos % objects.len()].clone();
+                    objects.push(dup);
+                } else {
+                    let i = pos % objects.len();
+                    objects[i].weight = 0.0;
+                }
+            }
+            objects
+        })
 }
 
 fn info_of(dcfs: &[Dcf]) -> f64 {
@@ -88,6 +111,50 @@ proptest! {
             prop_assert!(loss >= 0.0);
             // δI of merging an object into any cluster ≤ their joint mass.
             prop_assert!(loss <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn arena_tree_is_bit_identical_to_reference(
+        objects in arb_stream(),
+        threshold in 0.0f64..0.05,
+        branching in 2usize..6,
+    ) {
+        let mut arena = DcfTree::new(branching, threshold);
+        let mut reference = DcfTreeRef::new(branching, threshold);
+        for o in &objects {
+            // Alternate the owned and borrowed insert paths; they must be
+            // indistinguishable in the resulting tree.
+            if arena.n_inserted().is_multiple_of(2) {
+                arena.insert(o.clone());
+            } else {
+                arena.insert_ref(o);
+            }
+            reference.insert(o.clone());
+        }
+        prop_assert_eq!(arena.n_inserted(), reference.n_inserted());
+        prop_assert_eq!(arena.n_leaf_entries(), reference.n_leaf_entries());
+        prop_assert_eq!(arena.height(), reference.height());
+        let r = reference.leaves();
+        // All three leaf views must match the reference bit for bit.
+        let borrowed: Vec<&Dcf> = arena.iter_leaves().collect();
+        prop_assert_eq!(borrowed.len(), r.len());
+        for (x, y) in borrowed.iter().zip(&r) {
+            prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            prop_assert_eq!(x.count, y.count);
+            prop_assert_eq!(x.cond.entries(), y.cond.entries());
+            prop_assert_eq!(x.cond.total().to_bits(), y.cond.total().to_bits());
+            prop_assert_eq!(x.aux.entries(), y.aux.entries());
+        }
+        let cloned = arena.leaves();
+        let moved = arena.into_leaves();
+        prop_assert_eq!(cloned.len(), r.len());
+        prop_assert_eq!(moved.len(), r.len());
+        for ((c, m), y) in cloned.iter().zip(&moved).zip(&r) {
+            prop_assert_eq!(c.weight.to_bits(), y.weight.to_bits());
+            prop_assert_eq!(m.weight.to_bits(), y.weight.to_bits());
+            prop_assert_eq!(c.cond.entries(), y.cond.entries());
+            prop_assert_eq!(m.cond.entries(), y.cond.entries());
         }
     }
 

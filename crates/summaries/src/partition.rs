@@ -124,6 +124,7 @@ pub fn horizontal_partition_with(
     // "Loss of initial information after Phase 3": rebuild each final
     // cluster's DCF from its *assigned* tuples and compare I(C;V) with
     // the input I(T;V).
+    let mut merge_scratch = dbmine_ib::MergeScratch::new();
     let cluster_dcfs: Vec<dbmine_ib::Dcf> = partitions
         .iter()
         .filter(|p| !p.is_empty())
@@ -131,7 +132,7 @@ pub fn horizontal_partition_with(
             let mut it = p.iter();
             let mut dcf = objects[*it.next().expect("non-empty")].clone();
             for &t in it {
-                dcf.merge_in_place(&objects[t]);
+                dcf.merge_in_place(&objects[t], &mut merge_scratch);
             }
             dcf
         })
