@@ -15,8 +15,37 @@ use dbmine::fdmine::{
     mine_approximate_with, mine_tane, PartitionScratch, StrippedPartition, TaneOptions,
 };
 use dbmine::relation::Relation;
+use dbmine::telemetry;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+// The shared counting allocator from `telemetry::alloc` (events + peak
+// live bytes); the `allocations` section below is measured through it.
+#[global_allocator]
+static ALLOCATOR: telemetry::alloc::CountingAlloc = telemetry::alloc::CountingAlloc;
+
+struct AllocCount {
+    id: String,
+    allocs: u64,
+    peak_bytes: u64,
+}
+
+/// Runs `f` once, recording allocation events and peak live bytes via
+/// the shared `telemetry::alloc` tracker.
+fn count<R>(out: &mut Vec<AllocCount>, id: &str, f: impl FnOnce() -> R) -> R {
+    let (r, stats) = telemetry::alloc::measure(f);
+    let c = AllocCount {
+        id: id.to_string(),
+        allocs: stats.events,
+        peak_bytes: stats.peak_bytes,
+    };
+    println!(
+        "{:<44} allocs {:>10}  peak {:>12} B",
+        c.id, c.allocs, c.peak_bytes
+    );
+    out.push(c);
+    r
+}
 
 struct Measurement {
     id: String,
@@ -66,6 +95,7 @@ fn scaling_relation(n: usize) -> Relation {
 }
 
 fn main() {
+    telemetry::alloc::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
@@ -83,9 +113,13 @@ fn main() {
     };
 
     let mut results: Vec<Measurement> = Vec::new();
+    let mut allocs: Vec<AllocCount> = Vec::new();
     for &n in sizes {
         let rel = scaling_relation(n);
         measure(&mut results, &format!("tane/synth8/{n}"), samples, || {
+            mine_tane(&rel, TaneOptions::default())
+        });
+        count(&mut allocs, &format!("tane/synth8/{n}"), || {
             mine_tane(&rel, TaneOptions::default())
         });
         for threads in [2usize, 4] {
@@ -148,6 +182,20 @@ fn main() {
         || mine_approximate_with(&noisy, 0.05, Some(2), 1),
     );
 
+    // One profiled representative run: the timed samples above ran with
+    // span collection off, so only this window pays for span recording.
+    let report = {
+        let rel = scaling_relation(*sizes.last().expect("sizes non-empty"));
+        telemetry::begin();
+        let _ = std::hint::black_box(mine_tane(&rel, TaneOptions::default()));
+        let report = telemetry::finish();
+        if telemetry::compiled() {
+            println!("\nprofiled tane/synth8/{}:", rel.n_tuples());
+            print!("{}", report.render_text(8));
+        }
+        report
+    };
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"fdmine_scaling\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
@@ -160,7 +208,20 @@ fn main() {
         );
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"allocations\": [\n");
+    for (i, c) in allocs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"allocs\": {}, \"peak_bytes\": {}}}",
+            c.id, c.allocs, c.peak_bytes
+        );
+        json.push_str(if i + 1 < allocs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"telemetry\": ");
+    // RunReport::to_json is a complete JSON document; embedded as a
+    // sub-object its relative indentation is cosmetic only.
+    json.push_str(report.to_json().trim_end());
+    json.push_str("\n}\n");
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -17,47 +17,14 @@
 use dbmine::datagen::{dblp_sample, synthetic, DblpSpec, PlantedFd, SyntheticSpec};
 use dbmine::limbo::{run, tuple_dcfs, DcfTree, DcfTreeRef, LimboParams};
 use dbmine::relation::{Relation, TupleRows};
-use std::alloc::{GlobalAlloc, Layout, System};
+use dbmine::telemetry;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::time::Instant;
 
-/// Counting wrapper over the system allocator: total allocation events
-/// (`alloc` + growing `realloc`) and peak live bytes.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static LIVE: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Relaxed);
-        let live = LIVE.fetch_add(layout.size(), Relaxed) + layout.size();
-        PEAK.fetch_max(live, Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE.fetch_sub(layout.size(), Relaxed);
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Relaxed);
-        if new_size >= layout.size() {
-            let grow = new_size - layout.size();
-            let live = LIVE.fetch_add(grow, Relaxed) + grow;
-            PEAK.fetch_max(live, Relaxed);
-        } else {
-            LIVE.fetch_sub(layout.size() - new_size, Relaxed);
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
+// The shared counting allocator from `telemetry::alloc` (events + peak
+// live bytes); the `allocations` section below is measured through it.
 #[global_allocator]
-static ALLOCATOR: CountingAlloc = CountingAlloc;
+static ALLOCATOR: telemetry::alloc::CountingAlloc = telemetry::alloc::CountingAlloc;
 
 struct Measurement {
     id: String,
@@ -69,7 +36,7 @@ struct Measurement {
 struct AllocCount {
     id: String,
     allocs: u64,
-    peak_bytes: usize,
+    peak_bytes: u64,
 }
 
 /// Times `f` over `samples` runs (plus one untimed warmup) and records
@@ -137,15 +104,14 @@ fn measure_pair<R1, R2>(
     }
 }
 
-/// Runs `f` once, recording allocation events and peak live bytes.
+/// Runs `f` once, recording allocation events and peak live bytes via
+/// the shared `telemetry::alloc` tracker.
 fn count<R>(out: &mut Vec<AllocCount>, id: &str, f: impl FnOnce() -> R) -> R {
-    PEAK.store(LIVE.load(Relaxed), Relaxed);
-    let before = ALLOCS.load(Relaxed);
-    let r = std::hint::black_box(f());
+    let (r, stats) = telemetry::alloc::measure(f);
     let c = AllocCount {
         id: id.to_string(),
-        allocs: ALLOCS.load(Relaxed) - before,
-        peak_bytes: PEAK.load(Relaxed),
+        allocs: stats.events,
+        peak_bytes: stats.peak_bytes,
     };
     println!(
         "{:<44} allocs {:>10}  peak {:>12} B",
@@ -165,6 +131,7 @@ fn assert_leaves_bit_identical(a: &[dbmine::ib::Dcf], b: &[dbmine::ib::Dcf], wha
 }
 
 fn main() {
+    telemetry::alloc::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = smoke || args.iter().any(|a| a == "--quick");
@@ -337,6 +304,23 @@ fn main() {
         });
     }
 
+    // One profiled representative run (the last dataset, end-to-end):
+    // the timed samples above ran with span collection off, so this is
+    // the only window that pays for span recording.
+    let report = {
+        let (name, rel) = datasets.last().expect("datasets non-empty");
+        let objects = tuple_dcfs(rel);
+        let mi = TupleRows::build(rel).mutual_information();
+        telemetry::begin();
+        let _ = std::hint::black_box(run(&objects, mi, 5, LimboParams::with_phi(1.0)));
+        let report = telemetry::finish();
+        if telemetry::compiled() {
+            println!("\nprofiled pipeline/{name}:");
+            print!("{}", report.render_text(8));
+        }
+        report
+    };
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"limbo_phase1\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
@@ -358,7 +342,11 @@ fn main() {
         );
         json.push_str(if i + 1 < allocs.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"telemetry\": ");
+    // RunReport::to_json is a complete JSON document; embedded as a
+    // sub-object its relative indentation is cosmetic only.
+    json.push_str(report.to_json().trim_end());
+    json.push_str("\n}\n");
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -14,8 +14,16 @@ use dbmine::limbo::LimboParams;
 use dbmine::relation::csv::read_relation_path;
 use dbmine::relation::Relation;
 use dbmine::summaries::{find_duplicate_tuples_with, horizontal_partition_with};
+use dbmine::telemetry;
 use dbmine::{FdMiner, MinerConfig, StructureMiner};
 use std::process::exit;
+
+// Counting allocator for `--profile` runs: feature-independent, but only
+// installed in the instrumented (default-feature) binary so the
+// uninstrumented build stays byte-for-byte on the system allocator.
+#[cfg(feature = "telemetry")]
+#[global_allocator]
+static ALLOCATOR: telemetry::alloc::CountingAlloc = telemetry::alloc::CountingAlloc;
 
 fn usage() -> ! {
     eprintln!(
@@ -40,7 +48,10 @@ fn usage() -> ! {
          \x20 --steps N    decomposition steps for redesign (default 3)\n\
          \x20 --threads N  worker threads for clustering and FD mining\n\
          \x20              (1 = serial, 0 = all cores; results are\n\
-         \x20              bit-identical for every thread count)"
+         \x20              bit-identical for every thread count)\n\
+         \x20 --profile P  write a telemetry run report (spans, counters,\n\
+         \x20              allocations) as JSON to path P, or print the\n\
+         \x20              human-readable report to stderr with `-`"
     );
     exit(2);
 }
@@ -277,7 +288,19 @@ fn cmd_joins(args: &Args) {
 }
 
 fn main() {
+    #[cfg(feature = "telemetry")]
+    telemetry::alloc::mark_installed();
     let args = parse_args();
+    let profile = args.flags.get("profile").cloned();
+    if profile.is_some() {
+        if !telemetry::compiled() {
+            eprintln!(
+                "warning: --profile requested but telemetry is not compiled into this \
+                 binary (rebuild without --no-default-features); emitting an empty report"
+            );
+        }
+        telemetry::begin();
+    }
     match args.command.as_str() {
         "analyze" => cmd_analyze(&args),
         "duplicates" => cmd_duplicates(&args),
@@ -287,5 +310,22 @@ fn main() {
         "partition" => cmd_partition(&args),
         "redesign" => cmd_redesign(&args),
         _ => usage(),
+    }
+    if let Some(dest) = profile {
+        let report = telemetry::finish();
+        if dest == "-" {
+            eprint!("{}", report.render_text(10));
+        } else {
+            if let Some(dir) = std::path::Path::new(&dest).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&dest, report.to_json()) {
+                Ok(()) => eprintln!("wrote run report to {dest}"),
+                Err(e) => {
+                    eprintln!("error: cannot write run report {dest}: {e}");
+                    exit(1);
+                }
+            }
+        }
     }
 }

@@ -54,6 +54,7 @@ pub use dbmine_infotheory as infotheory;
 pub use dbmine_limbo as limbo;
 pub use dbmine_relation as relation;
 pub use dbmine_summaries as summaries;
+pub use dbmine_telemetry as telemetry;
 
 mod miner;
 

@@ -220,8 +220,12 @@ impl StructureMiner {
     /// clustering → attribute grouping → FD mining → minimum cover →
     /// FD-RANK with RAD/RTR.
     pub fn analyze(&self, rel: &Relation) -> StructureReport {
+        let _span = dbmine_telemetry::span!("miner.analyze");
         let c = &self.config;
-        let columns = profile_columns(rel);
+        let columns = {
+            let _s = dbmine_telemetry::span!("miner.profile_columns");
+            profile_columns(rel)
+        };
         let duplicate_tuples =
             find_duplicate_tuples_with(rel, LimboParams::with_phi(c.phi_tuples).threads(c.threads));
         let value_groups = cluster_values_with(
@@ -231,29 +235,35 @@ impl StructureMiner {
         );
         let attribute_grouping = group_attributes(&value_groups, rel.n_attrs());
 
-        let fds = match self.effective_miner(rel) {
-            FdMiner::Fdep => mine_fdep(rel),
-            _ => mine_tane(
-                rel,
-                TaneOptions {
-                    max_lhs: c.max_lhs,
-                    threads: c.threads,
-                },
-            ),
+        let fds = {
+            let _s = dbmine_telemetry::span!("miner.mine_fds");
+            match self.effective_miner(rel) {
+                FdMiner::Fdep => mine_fdep(rel),
+                _ => mine_tane(
+                    rel,
+                    TaneOptions {
+                        max_lhs: c.max_lhs,
+                        threads: c.threads,
+                    },
+                ),
+            }
         };
         let cover = minimum_cover(&fds);
-        let ranked_fds = rank_fds(&cover, &attribute_grouping, c.psi);
-        let ranked = ranked_fds
-            .into_iter()
-            .map(|fd| {
-                let attrs = fd.attrs();
-                RankedDependency {
-                    rad: rad(rel, attrs),
-                    rtr: rtr(rel, attrs),
-                    fd,
-                }
-            })
-            .collect();
+        let ranked = {
+            let _s = dbmine_telemetry::span!("miner.rank");
+            let ranked_fds = rank_fds(&cover, &attribute_grouping, c.psi);
+            ranked_fds
+                .into_iter()
+                .map(|fd| {
+                    let attrs = fd.attrs();
+                    RankedDependency {
+                        rad: rad(rel, attrs),
+                        rtr: rtr(rel, attrs),
+                        fd,
+                    }
+                })
+                .collect()
+        };
 
         StructureReport {
             columns,

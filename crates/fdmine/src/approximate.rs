@@ -68,6 +68,7 @@ pub fn mine_approximate_with(
         .collect();
     let mut level = 1usize;
 
+    let _span = dbmine_telemetry::span("fdmine.approximate");
     while !current.is_empty() {
         // The g3 tests of one level only read the level-start state
         // (`found_lhs` entries added at this level have the same LHS

@@ -156,6 +156,7 @@ impl StrippedPartition {
         other: &StrippedPartition,
         scratch: &mut PartitionScratch,
     ) -> StrippedPartition {
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::PartitionProducts, 1);
         debug_assert_eq!(self.n, other.n);
         if scratch.class_of.len() < self.n {
             scratch.class_of.resize(self.n, u32::MAX);
@@ -282,6 +283,7 @@ impl StrippedPartition {
         refined: &StrippedPartition,
         scratch: &mut PartitionScratch,
     ) -> f64 {
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::G3Evals, 1);
         if self.n == 0 {
             return 0.0;
         }

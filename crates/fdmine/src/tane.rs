@@ -99,11 +99,17 @@ pub fn mine_tane(rel: &Relation, options: TaneOptions) -> Vec<Fd> {
     let mut level = 1usize;
     let mut prune_scratch = PartitionScratch::new();
 
+    let _span = dbmine_telemetry::span("tane.run");
     while !current_sets.is_empty() {
+        dbmine_telemetry::counter_add(
+            dbmine_telemetry::Counter::TaneLatticeNodes,
+            current_sets.len() as u64,
+        );
         // COMPUTE_DEPENDENCIES: each set's candidate-rhs narrowing and
         // validity tests read only the previous level, so the sets fan
         // out in parallel; the serial merge below keeps emission order
         // (and therefore the whole run) independent of the chunking.
+        let compute_span = dbmine_telemetry::span("tane.compute_dependencies");
         let computed: Vec<(AttrSet, Vec<Fd>)> = par_map(threads, &current_sets, |_, &x| {
             // C+(X) = ∩_{A∈X} C+(X∖{A}).
             let mut cp = r;
@@ -138,6 +144,7 @@ pub fn mine_tane(rel: &Relation, options: TaneOptions) -> Vec<Fd> {
             out.extend(fds.iter().copied());
             cplus.insert(x.bits(), *cp);
         }
+        drop(compute_span);
 
         // Bounded search: level ℓ's COMPUTE step emits LHSs of size ℓ-1,
         // so after computing level max_lhs+1 we are done.
@@ -148,6 +155,7 @@ pub fn mine_tane(rel: &Relation, options: TaneOptions) -> Vec<Fd> {
         // PRUNE (serial: keys are rare). The level-local cache
         // memoizes subset partitions so each is built once per level,
         // not once per (subset, rhs) pair.
+        let prune_span = dbmine_telemetry::span("tane.prune");
         let mut pruned: Vec<u64> = Vec::new();
         let mut key_cache: FxHashMap<u64, Part> = FxHashMap::default();
         for &x in &current_sets {
@@ -198,11 +206,13 @@ pub fn mine_tane(rel: &Relation, options: TaneOptions) -> Vec<Fd> {
             .copied()
             .filter(|x| !pruned_set.contains(&x.bits()))
             .collect();
+        drop(prune_span);
 
         // GENERATE_NEXT_LEVEL: prefix join over survivors. Candidates
         // are enumerated serially in survivor order (deterministic —
         // the old map-iteration order leaked the hasher), then their
         // partition products fan out with one scratch per worker.
+        let generate_span = dbmine_telemetry::span("tane.generate_next_level");
         let survivor_bits: FxHashSet<u64> = survivors.iter().map(|s| s.bits()).collect();
         let mut block_index: FxHashMap<u64, usize> = FxHashMap::default();
         let mut blocks: Vec<Vec<AttrSet>> = Vec::new();
@@ -271,6 +281,7 @@ pub fn mine_tane(rel: &Relation, options: TaneOptions) -> Vec<Fd> {
         current_sets = next_sets;
         current_parts = next_parts;
         level += 1;
+        drop(generate_span);
     }
 
     normalize_fds(out)
@@ -292,14 +303,18 @@ fn cached_error(
     scratch: &mut PartitionScratch,
 ) -> usize {
     if let Some(p) = prev_parts.get(&set.bits()) {
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::TanePruneCacheHits, 1);
         return p.error;
     }
     if let Some(p) = current_parts.get(&set.bits()) {
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::TanePruneCacheHits, 1);
         return p.error;
     }
     if let Some(p) = cache.get(&set.bits()) {
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::TanePruneCacheHits, 1);
         return p.error;
     }
+    dbmine_telemetry::counter_add(dbmine_telemetry::Counter::TanePruneCacheMisses, 1);
     let partition = match set.len() {
         0 => StrippedPartition::of_empty(n),
         1 => attr_parts[set.iter().next().expect("non-empty")].clone(),

@@ -48,6 +48,7 @@ impl RankedFd {
 ///   with more attributes higher"*), then lexicographically for
 ///   determinism.
 pub fn rank_fds(fds: &[Fd], grouping: &AttributeGrouping, psi: f64) -> Vec<RankedFd> {
+    let _span = dbmine_telemetry::span("fdrank.rank");
     assert!((0.0..=1.0).contains(&psi), "ψ must be in [0,1]");
     let max_rank = grouping.max_loss();
     let cutoff = psi * max_rank;

@@ -49,6 +49,10 @@ pub fn redundant_cells(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> Vec<Redunda
             });
         }
     }
+    dbmine_telemetry::counter_add(
+        dbmine_telemetry::Counter::FdrankRedundantCells,
+        out.len() as u64,
+    );
     out
 }
 

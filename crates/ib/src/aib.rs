@@ -199,6 +199,7 @@ pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
     // the cached best of its smaller endpoint, so the heap below only
     // ever needs one entry per slot — O(q) candidates, not O(q²).
     let mut last_merged: Vec<u32> = vec![0; q];
+    let init_span = dbmine_telemetry::span("aib.init");
     let mut best: Vec<Option<(f64, usize)>> = {
         let slots_ref = &slots;
         dbmine_parallel::par_map_range(threads, q, |i| {
@@ -228,6 +229,7 @@ pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
             heap.push(Reverse((OrdLoss(d), u, p, 0)));
         }
     }
+    drop(init_span);
 
     let mut alive = q;
     let mut alive_ids: Vec<usize> = (0..q).collect();
@@ -239,6 +241,7 @@ pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
     // allocation-free in steady state (see `Dcf::merge_in_place`).
     let mut merge_scratch = MergeScratch::new();
 
+    let _merge_span = dbmine_telemetry::span("aib.merge_loop");
     while alive > k {
         let (loss, a, b) = loop {
             let Reverse((OrdLoss(d), u, p, s)) = heap
@@ -246,8 +249,10 @@ pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
                 .expect("heap exhausted before reaching k clusters");
             if slots[u].is_some() && stamp[u] == s {
                 debug_assert!(slots[p].is_some(), "cached partner died without repair");
+                dbmine_telemetry::counter_add(dbmine_telemetry::Counter::NnCacheHits, 1);
                 break (d, u, p);
             }
+            dbmine_telemetry::counter_add(dbmine_telemetry::Counter::NnCacheMisses, 1);
         };
 
         // Merge slot b into slot a (a < b by cache construction).
@@ -290,6 +295,7 @@ pub fn aib_with(inputs: Vec<Dcf>, k: usize, threads: usize) -> AibResult {
         // pre-merge caches and post-merge slots, so they run in parallel;
         // `None` = no change.
         if alive > k {
+            let _repair_span = dbmine_telemetry::span("aib.repair");
             let (slots_ref, best_ref, lm_ref, ids_ref) = (&slots, &best, &last_merged, &alive_ids);
             let updates: Vec<Option<Option<(f64, usize)>>> =
                 dbmine_parallel::par_map(threads, ids_ref, |_, &u| {

@@ -107,6 +107,7 @@ impl Dcf {
     /// Bit-identical to `*self = self.merge(other)` — regression- and
     /// property-tested against that pinned reference.
     pub fn merge_in_place(&mut self, other: &Dcf, scratch: &mut MergeScratch) {
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::DcfMerges, 1);
         let w = self.weight + other.weight;
         if w > 0.0 {
             self.cond.merge_from(

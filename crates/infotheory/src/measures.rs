@@ -82,6 +82,7 @@ pub fn kl_divergence(p: &SparseDist, q: &SparseDist) -> f64 {
 /// are, and bounded above by `H(π) ≤ 1` bit. The paper uses
 /// `πi = p(ci)/p(c*)` when pricing a merge of clusters `ci, cj`.
 pub fn js_divergence(p: &SparseDist, pi_p: f64, q: &SparseDist, pi_q: f64) -> f64 {
+    dbmine_telemetry::counter_add(dbmine_telemetry::Counter::JsEvals, 1);
     debug_assert!(
         (pi_p + pi_q - 1.0).abs() < 1e-9 && pi_p >= 0.0 && pi_q >= 0.0,
         "JS mixture weights must be a distribution, got ({pi_p}, {pi_q})"

@@ -122,6 +122,7 @@ pub fn phase1(
     } else {
         params.phi * mutual_information / n_objects as f64
     };
+    let _span = dbmine_telemetry::span("limbo.phase1");
     let mut tree = DcfTree::new(params.branching, threshold);
     let mut inserted = 0usize;
     for dcf in objects {
@@ -155,6 +156,7 @@ pub fn phase1_ref<'a>(
     } else {
         params.phi * mutual_information / n_objects as f64
     };
+    let _span = dbmine_telemetry::span("limbo.phase1");
     let mut tree = DcfTree::new(params.branching, threshold);
     let mut inserted = 0usize;
     for dcf in objects {
@@ -181,6 +183,7 @@ pub fn phase2(model: &LimboModel, k: usize) -> AibResult {
 /// [`phase2`] with an explicit thread count (`1` = serial, `0` = all
 /// cores). Bit-identical to the serial run for every thread count.
 pub fn phase2_with(model: &LimboModel, k: usize, threads: usize) -> AibResult {
+    let _span = dbmine_telemetry::span("limbo.phase2");
     aib_with(model.leaves.clone(), k, threads)
 }
 
@@ -199,6 +202,7 @@ pub fn phase3_with<'a>(
     clustering: &AibResult,
     threads: usize,
 ) -> Vec<(usize, f64)> {
+    let _span = dbmine_telemetry::span("limbo.phase3");
     assign_all_with(objects, &clustering.clusters, threads)
 }
 
@@ -215,6 +219,7 @@ pub fn phase3_with<'a>(
 /// assert_eq!(l.clustering.clusters.len(), 2);
 /// ```
 pub fn run(objects: &[Dcf], mutual_information: f64, k: usize, params: LimboParams) -> Limbo {
+    let _span = dbmine_telemetry::span("limbo.run");
     let model = phase1_ref(objects.iter(), mutual_information, objects.len(), params);
     let clustering = phase2_with(&model, k, params.threads);
     let assignments = phase3_with(objects.iter(), &clustering, params.threads);

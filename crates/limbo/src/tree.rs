@@ -150,6 +150,7 @@ impl DcfTree {
             _ => None,
         };
         if let Some(idx) = absorb {
+            dbmine_telemetry::counter_add(dbmine_telemetry::Counter::TreeAbsorbs, 1);
             let eid = self.nodes[node as usize].entries[idx];
             let Self {
                 nodes,
@@ -266,6 +267,7 @@ impl DcfTree {
     /// pair and redistributing the rest by proximity. Returns the two
     /// summary entries for the parent.
     fn split(&mut self, node: u32) -> (u32, u32) {
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::TreeSplits, 1);
         let leaf = self.nodes[node as usize].leaf;
         let ids = std::mem::take(&mut self.nodes[node as usize].entries);
         debug_assert!(ids.len() >= 2);

@@ -82,6 +82,7 @@ impl AttributeGrouping {
 /// Since `|A_D| = m` is small, this runs plain AIB with `φ_A = 0` to a
 /// full dendrogram, per the paper.
 pub fn group_attributes(values: &ValueClustering, n_attrs: usize) -> AttributeGrouping {
+    let _span = dbmine_telemetry::span("summaries.group_attributes");
     let f_rows = values.f_rows(n_attrs);
     let inputs = attribute_dcfs(&f_rows);
     let attrs: Vec<AttrId> = inputs.iter().map(|&(a, _)| a).collect();

@@ -100,6 +100,7 @@ pub fn horizontal_partition_with(
     k: Option<usize>,
     max_k: usize,
 ) -> PartitionResult {
+    let _span = dbmine_telemetry::span("summaries.horizontal_partition");
     let threads = params.threads;
     let objects = tuple_dcfs_with(rel, threads);
     let mi = TupleRows::build(rel).mutual_information();

@@ -91,6 +91,7 @@ pub fn find_duplicate_tuples(rel: &Relation, phi_t: f64) -> DuplicateReport {
 
 /// As [`find_duplicate_tuples`], with full control over LIMBO parameters.
 pub fn find_duplicate_tuples_with(rel: &Relation, params: LimboParams) -> DuplicateReport {
+    let _span = dbmine_telemetry::span("summaries.duplicate_tuples");
     let n = rel.n_tuples();
     let objects = tuple_dcfs_with(rel, params.threads);
     let mi = TupleRows::build(rel).mutual_information();

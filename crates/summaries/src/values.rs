@@ -120,6 +120,7 @@ pub fn cluster_values_with(
     params: LimboParams,
     tuple_assignment: Option<&[usize]>,
 ) -> ValueClustering {
+    let _span = dbmine_telemetry::span("summaries.cluster_values");
     let index = ValueIndex::build(rel);
     let objects: Vec<Dcf> = match tuple_assignment {
         Some(assign) => reexpress_over_clusters(&index, assign),

@@ -1,0 +1,122 @@
+//! Counting global allocator, promoted out of `bench_limbo`'s private
+//! copy so both bench runners and the CLI `--profile` path share one
+//! implementation: total allocation events (`alloc` + `realloc`) and
+//! peak live bytes over the system allocator.
+//!
+//! This module is deliberately **feature-independent**: it has zero
+//! cost unless a binary opts in by installing the allocator, so there
+//! is nothing to gate. Binaries opt in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOCATOR: dbmine_telemetry::alloc::CountingAlloc =
+//!     dbmine_telemetry::alloc::CountingAlloc;
+//!
+//! fn main() {
+//!     dbmine_telemetry::alloc::mark_installed();
+//!     // ...
+//! }
+//! ```
+//!
+//! Without installation every query function returns 0 and
+//! [`RunReport::alloc_installed`](crate::RunReport) stays `false`.
+//!
+//! The peak watermark is a single global; [`measure`] resets it, so
+//! measured regions must not overlap (serial use only — which is also
+//! the only regime where per-region peaks are meaningful).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Counting wrapper over the system allocator: every `alloc` and
+/// `realloc` bumps the event counter; live bytes track the running
+/// total and feed a monotone peak watermark.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        EVENTS.fetch_add(1, Relaxed);
+        let live = LIVE.fetch_add(layout.size(), Relaxed) + layout.size();
+        PEAK.fetch_max(live, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        EVENTS.fetch_add(1, Relaxed);
+        if new_size >= layout.size() {
+            let grow = new_size - layout.size();
+            let live = LIVE.fetch_add(grow, Relaxed) + grow;
+            PEAK.fetch_max(live, Relaxed);
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Record that [`CountingAlloc`] is this process's `#[global_allocator]`.
+/// Call once at the top of `main`; reports use this to distinguish "0
+/// allocations" from "not measured".
+pub fn mark_installed() {
+    INSTALLED.store(true, Relaxed);
+}
+
+/// True once [`mark_installed`] has been called.
+pub fn installed() -> bool {
+    INSTALLED.load(Relaxed)
+}
+
+/// Total allocation events (`alloc` + `realloc`) since process start.
+pub fn events() -> u64 {
+    EVENTS.load(Relaxed)
+}
+
+/// Currently live heap bytes.
+pub fn live_bytes() -> u64 {
+    LIVE.load(Relaxed) as u64
+}
+
+/// Peak live heap bytes since process start or the last [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Relaxed) as u64
+}
+
+/// Reset the peak watermark to the current live byte count, so the next
+/// [`peak_bytes`] reading reflects only the region after this call.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Relaxed), Relaxed);
+}
+
+/// Allocation statistics for one [`measure`]d region.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllocStats {
+    /// Allocation events during the region.
+    pub events: u64,
+    /// Absolute peak live bytes during the region (watermark reset at
+    /// region start — same semantics as the original bench counter).
+    pub peak_bytes: u64,
+}
+
+/// Run `f` with the peak watermark reset, returning its result plus the
+/// region's allocation statistics. Regions must not overlap (the
+/// watermark is global): call this serially only.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, AllocStats) {
+    reset_peak();
+    let before = events();
+    let r = std::hint::black_box(f());
+    let stats = AllocStats {
+        events: events().saturating_sub(before),
+        peak_bytes: peak_bytes(),
+    };
+    (r, stats)
+}

@@ -1,0 +1,247 @@
+//! Hierarchical wall-clock spans with drop-guard scoping.
+//!
+//! A [`Span`] is opened with [`span`] (or the `span!` macro) and closed
+//! by its `Drop` impl, so the span tree is well-nested even under early
+//! returns and panics. Nesting is tracked per thread with a
+//! thread-local stack; finished spans are appended to a global
+//! collector guarded by a mutex (two `Instant::now()` calls, a counter
+//! snapshot, and one short mutex hold per span — spans are placed at
+//! phase granularity, never per element).
+//!
+//! Collection is off until [`begin`] flips a global `AtomicBool`; spans
+//! opened while collection is off cost one relaxed load. With the
+//! `telemetry` cargo feature off, everything in this module is a no-op
+//! and [`Span`] is zero-sized.
+
+use crate::report::RunReport;
+
+/// One finished span, as recorded by the drop guard. Converted into the
+/// aggregated [`crate::ReportNode`] tree by [`finish`].
+#[derive(Clone, Debug)]
+pub(crate) struct RawSpan {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: &'static str,
+    pub wall_ns: u64,
+    pub counters: crate::CounterSnapshot,
+    pub alloc_events: u64,
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::RawSpan;
+    use crate::report::RunReport;
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    static COLLECTING: AtomicBool = AtomicBool::new(false);
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    static RECORDS: Mutex<Vec<RawSpan>> = Mutex::new(Vec::new());
+    #[allow(clippy::type_complexity)]
+    static RUN_START: Mutex<Option<(Instant, crate::CounterSnapshot, u64, u64)>> = Mutex::new(None);
+
+    thread_local! {
+        static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn lock<T>(m: &'static Mutex<T>) -> std::sync::MutexGuard<'static, T> {
+        // A panic inside a span body can poison the mutex while the
+        // unwinding drop guard still wants to record; the data is plain
+        // append-only state, so recover the guard.
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub struct Span {
+        active: Option<Active>,
+    }
+
+    struct Active {
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        start: Instant,
+        counters: crate::CounterSnapshot,
+        alloc_events: u64,
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let Some(a) = self.active.take() else { return };
+            // Guards usually drop LIFO, but a Vec of guards (or an
+            // unwind through one) drops FIFO — remove this span's id
+            // wherever it sits so the stack still fully unwinds, and
+            // never panic here (we may already be unwinding).
+            STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                if let Some(pos) = s.iter().rposition(|&x| x == a.id) {
+                    s.remove(pos);
+                }
+            });
+            // finish() may have raced us; a record landing after the
+            // final drain would leak into the *next* run, so re-check.
+            if !COLLECTING.load(Ordering::Relaxed) {
+                return;
+            }
+            let wall_ns = a.start.elapsed().as_nanos() as u64;
+            let counters = crate::snapshot().delta(&a.counters);
+            let alloc_events = crate::alloc::events().saturating_sub(a.alloc_events);
+            lock(&RECORDS).push(RawSpan {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                wall_ns,
+                counters,
+                alloc_events,
+            });
+        }
+    }
+
+    #[inline]
+    pub fn span(name: &'static str) -> Span {
+        if !COLLECTING.load(Ordering::Relaxed) {
+            return Span { active: None };
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        Span {
+            active: Some(Active {
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                counters: crate::snapshot(),
+                alloc_events: crate::alloc::events(),
+            }),
+        }
+    }
+
+    pub fn begin() {
+        lock(&RECORDS).clear();
+        crate::alloc::reset_peak();
+        *lock(&RUN_START) = Some((
+            Instant::now(),
+            crate::snapshot(),
+            crate::alloc::events(),
+            crate::alloc::live_bytes(),
+        ));
+        COLLECTING.store(true, Ordering::Relaxed);
+    }
+
+    pub fn finish() -> RunReport {
+        COLLECTING.store(false, Ordering::Relaxed);
+        let records = std::mem::take(&mut *lock(&RECORDS));
+        let start = lock(&RUN_START).take();
+        let (wall_ns, counters, alloc_events, live_before) = match start {
+            Some((t, snap, ev, live)) => (
+                t.elapsed().as_nanos() as u64,
+                crate::snapshot().delta(&snap),
+                crate::alloc::events().saturating_sub(ev),
+                live,
+            ),
+            None => (0, crate::CounterSnapshot::default(), 0, 0),
+        };
+        let alloc_peak = crate::alloc::peak_bytes().saturating_sub(live_before);
+        RunReport::build(records, wall_ns, counters, alloc_events, alloc_peak)
+    }
+
+    #[inline]
+    pub fn collecting() -> bool {
+        COLLECTING.load(Ordering::Relaxed)
+    }
+
+    pub fn span_depth() -> usize {
+        STACK.with(|s| s.borrow().len())
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    use crate::report::RunReport;
+
+    /// Zero-sized inert span guard (feature off). The empty `Drop` impl
+    /// keeps explicit `drop(span)` scope-bracketing at call sites
+    /// meaningful (and clippy-clean) in both feature modes.
+    pub struct Span {
+        _priv: (),
+    }
+
+    impl Drop for Span {
+        #[inline(always)]
+        fn drop(&mut self) {}
+    }
+
+    #[inline(always)]
+    pub fn span(name: &'static str) -> Span {
+        let _ = name;
+        Span { _priv: () }
+    }
+
+    #[inline(always)]
+    pub fn begin() {}
+
+    #[inline(always)]
+    pub fn finish() -> RunReport {
+        RunReport::empty()
+    }
+
+    #[inline(always)]
+    pub fn collecting() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn span_depth() -> usize {
+        0
+    }
+}
+
+/// Drop guard for one span. Hold it for the duration of the phase:
+/// `let _span = telemetry::span("limbo.phase1");`
+pub use imp::Span;
+
+/// Open a span named `name`. `name` must be a static phase label
+/// following the `crate.phase` convention (see DESIGN.md); dynamic
+/// strings are deliberately unsupported to keep the guard allocation
+/// free. Costs one relaxed load when collection is off; a true no-op
+/// when the `telemetry` feature is off.
+#[inline(always)]
+pub fn span(name: &'static str) -> Span {
+    imp::span(name)
+}
+
+/// Start collecting spans: clears previously collected records, resets
+/// the allocation peak watermark, and snapshots counters so the final
+/// [`RunReport`] reports window deltas. No-op when the feature is off.
+#[inline(always)]
+pub fn begin() {
+    imp::begin()
+}
+
+/// Stop collecting and return the aggregated [`RunReport`] for the
+/// window since [`begin`]. Returns an empty report when the feature is
+/// off or `begin` was never called.
+#[inline(always)]
+pub fn finish() -> RunReport {
+    imp::finish()
+}
+
+/// True while a [`begin`]..[`finish`] window is open (always false when
+/// the feature is off).
+#[inline(always)]
+pub fn collecting() -> bool {
+    imp::collecting()
+}
+
+/// Depth of the current thread's open-span stack — a test hook for the
+/// well-nestedness proptests. Always 0 when the feature is off.
+#[inline(always)]
+pub fn span_depth() -> usize {
+    imp::span_depth()
+}

@@ -1,0 +1,133 @@
+//! Span drop-guard properties: the per-thread span stack stays
+//! well-nested — and fully unwinds — under arbitrary interleavings of
+//! nesting, early returns, and panics, and finished reports reflect the
+//! nesting that actually happened.
+//!
+//! Spans and the collector are process-global, so every test in this
+//! binary serializes on one mutex (integration-test binaries are their
+//! own process, so other test binaries can't interfere).
+
+use dbmine_telemetry as telemetry;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A prop_assert failure in another case unwinds with the guard
+    // held; the poison flag carries no state worth keeping here.
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One step of a generated span program: open `opens` nested spans,
+/// then maybe panic inside them.
+#[derive(Clone, Debug)]
+struct Step {
+    opens: usize,
+    panics: bool,
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0usize..4, 0u32..10).prop_map(|(opens, roll)| Step {
+            opens,
+            panics: roll < 3,
+        }),
+        1..8,
+    )
+}
+
+fn run_step(step: &Step, names: &[&'static str]) {
+    let mut guards = Vec::new();
+    for i in 0..step.opens {
+        guards.push(telemetry::span(names[i % names.len()]));
+    }
+    if step.panics {
+        panic!("injected panic under {} open spans", step.opens);
+    }
+    // Early return with guards alive: Drop closes them in reverse order.
+}
+
+proptest! {
+    /// After every step — panicking or not — the thread's span stack is
+    /// back to empty, and finish() still produces a report.
+    #[test]
+    fn stack_unwinds_under_panics(program in arb_program()) {
+        let _guard = lock();
+        const NAMES: &[&str] = &["t.alpha", "t.beta", "t.gamma", "t.delta"];
+        telemetry::begin();
+        for step in &program {
+            let result = std::panic::catch_unwind(|| run_step(step, NAMES));
+            prop_assert_eq!(result.is_err(), step.panics);
+            prop_assert_eq!(telemetry::span_depth(), 0, "stack not unwound after {:?}", step);
+        }
+        let report = telemetry::finish();
+        if telemetry::compiled() {
+            let opened: usize = program.iter().map(|s| s.opens).sum();
+            let recorded: u64 = {
+                fn calls(n: &telemetry::ReportNode) -> u64 {
+                    n.calls + n.children.iter().map(calls).sum::<u64>()
+                }
+                report.roots.iter().map(calls).sum()
+            };
+            prop_assert_eq!(recorded, opened as u64, "every dropped span records exactly once");
+        } else {
+            prop_assert!(report.roots.is_empty());
+        }
+        // The report must serialize regardless.
+        prop_assert!(report.to_json().contains("\"schema_version\""));
+    }
+}
+
+#[test]
+fn nesting_shows_up_in_report_tree() {
+    let _guard = lock();
+    telemetry::begin();
+    {
+        let _outer = telemetry::span("t.outer");
+        {
+            let _inner = telemetry::span("t.inner");
+        }
+        {
+            let _inner = telemetry::span("t.inner");
+        }
+    }
+    let report = telemetry::finish();
+    if !telemetry::compiled() {
+        assert!(report.roots.is_empty());
+        return;
+    }
+    let outer = report.find("t.outer").expect("outer span recorded");
+    assert_eq!(outer.calls, 1);
+    let inner = outer.find("t.inner").expect("inner nested under outer");
+    assert_eq!(inner.calls, 2);
+    assert!(outer.total_ms >= inner.total_ms);
+    assert!(report.wall_ms >= outer.total_ms);
+}
+
+#[test]
+fn spans_outside_window_are_not_recorded() {
+    let _guard = lock();
+    // No begin(): collection off, spans are cheap no-ops.
+    assert!(!telemetry::collecting());
+    {
+        let _s = telemetry::span("t.ignored");
+        assert_eq!(telemetry::span_depth(), 0);
+    }
+    telemetry::begin();
+    let report = telemetry::finish();
+    assert!(report.find("t.ignored").is_none());
+}
+
+#[test]
+fn macro_form_matches_function_form() {
+    let _guard = lock();
+    telemetry::begin();
+    {
+        let _s = dbmine_telemetry::span!("t.macro");
+    }
+    let report = telemetry::finish();
+    if telemetry::compiled() {
+        assert!(report.find("t.macro").is_some());
+    }
+}

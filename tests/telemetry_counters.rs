@@ -1,0 +1,120 @@
+//! Exact-value counter tests on tiny hand-checked inputs, plus a pin
+//! that collecting telemetry does not change mining output.
+//!
+//! Counters are process-global, so this suite lives in its own
+//! integration-test binary (its own process) and serializes its tests
+//! on one mutex; deltas are taken while the lock is held. With the
+//! `telemetry` feature compiled out every delta is 0 and the tests
+//! assert exactly that, so the suite is meaningful in both CI legs.
+
+use dbmine::fdmine::{mine_tane, TaneOptions};
+use dbmine::ib::{aib, Dcf};
+use dbmine::infotheory::SparseDist;
+use dbmine::relation::paper::figure4;
+use dbmine::relation::{AttrSet, RelationBuilder};
+use dbmine::telemetry::{self, Counter, CounterSnapshot};
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn with_deltas<R>(f: impl FnOnce() -> R) -> (R, CounterSnapshot) {
+    let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let before = telemetry::snapshot();
+    let r = f();
+    let d = telemetry::snapshot().delta(&before);
+    (r, d)
+}
+
+/// Expected value when telemetry is compiled in; 0 when it is not.
+fn expect(n: u64) -> u64 {
+    if telemetry::compiled() {
+        n
+    } else {
+        0
+    }
+}
+
+fn singleton(support: &[(u32, f64)], weight: f64) -> Dcf {
+    let mut d = SparseDist::from_pairs(support.to_vec());
+    d.normalize();
+    Dcf::singleton(weight, d)
+}
+
+#[test]
+fn aib_on_four_values_performs_exactly_three_merges() {
+    // Agglomerating 4 objects down to k = 1 is exactly 3 pair merges,
+    // each one `Dcf::merge_in_place` call; every heap pop that commits a
+    // merge is one nearest-neighbor-cache hit.
+    let inputs = vec![
+        singleton(&[(0, 1.0)], 0.25),
+        singleton(&[(1, 1.0)], 0.25),
+        singleton(&[(0, 0.5), (2, 0.5)], 0.25),
+        singleton(&[(3, 1.0)], 0.25),
+    ];
+    let (result, d) = with_deltas(|| aib(inputs, 1));
+    assert_eq!(result.clusters.len(), 1);
+    assert_eq!(result.dendrogram.merges().len(), 3);
+    assert_eq!(d.get(Counter::DcfMerges), expect(3));
+    assert_eq!(d.get(Counter::NnCacheHits), expect(3));
+}
+
+#[test]
+fn tane_lattice_sizes_on_a_three_attribute_relation() {
+    // Hand-checked relation where no FD holds and no proper subset of
+    // {A,B,C} is a key:
+    //   level 1 visits {A},{B},{C}          → 3 lattice nodes
+    //   level 2 visits {AB},{AC},{BC}       → 3 nodes (3 products built)
+    //   level 3 visits {ABC}                → 1 node  (1 product built)
+    // {ABC} is a key, but C+({ABC}) ∖ {ABC} is empty, so nothing is
+    // emitted and the next level is empty: 7 nodes, 4 products total.
+    let mut b = RelationBuilder::new("t3", &["A", "B", "C"]);
+    for row in [
+        ["a", "x", "p"],
+        ["a", "x", "q"],
+        ["b", "x", "p"],
+        ["b", "y", "q"],
+        ["a", "y", "p"],
+        ["b", "y", "p"],
+    ] {
+        b.push_row_strs(&row);
+    }
+    let rel = b.build();
+    let (fds, d) = with_deltas(|| mine_tane(&rel, TaneOptions::default()));
+    assert!(fds.is_empty(), "no FD holds in this relation: {fds:?}");
+    assert_eq!(d.get(Counter::TaneLatticeNodes), expect(7));
+    assert_eq!(d.get(Counter::PartitionProducts), expect(4));
+    // The key-pruning minimality check never ran (no emissions).
+    assert_eq!(d.get(Counter::TanePruneCacheHits), 0);
+    assert_eq!(d.get(Counter::TanePruneCacheMisses), 0);
+}
+
+#[test]
+fn fdrank_counts_figure4_redundant_cells() {
+    // Figure 4: under C → B, the three tuples sharing C = x all carry
+    // B = 2; the first is the witness, the other two are redundant.
+    let rel = figure4();
+    let (cells, d) = with_deltas(|| dbmine::fdrank::redundant_cells(&rel, AttrSet::single(2), 1));
+    assert_eq!(cells.len(), 2);
+    assert_eq!(d.get(Counter::FdrankRedundantCells), expect(2));
+}
+
+#[test]
+fn collecting_spans_does_not_change_mining_output() {
+    use dbmine::{MinerConfig, StructureMiner};
+    let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let rel = figure4();
+    let miner = StructureMiner::new(MinerConfig::default());
+    let quiet = miner.analyze(&rel).render(&rel);
+    telemetry::begin();
+    let collected = miner.analyze(&rel).render(&rel);
+    let report = telemetry::finish();
+    assert_eq!(quiet, collected, "span collection must not alter results");
+    if telemetry::compiled() {
+        let analyze = report.find("miner.analyze").expect("pipeline span");
+        assert!(analyze.find("summaries.duplicate_tuples").is_some());
+        assert!(analyze.find("limbo.phase1").is_some());
+        assert!(report.counters.get(Counter::JsEvals) > 0);
+    } else {
+        assert!(report.roots.is_empty());
+    }
+}
