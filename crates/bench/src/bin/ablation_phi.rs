@@ -10,10 +10,10 @@
 //!   the quality of the clustering"*: quality (retained information at a
 //!   fixed k) across B.
 
+use dbmine::context::AnalysisCtx;
 use dbmine::datagen::{dblp_sample, DblpSpec};
 use dbmine::ib::aib;
-use dbmine::limbo::{phase1, tuple_dcfs, LimboParams};
-use dbmine::relation::TupleRows;
+use dbmine::limbo::{phase1, tuple_dcfs_ctx, LimboParams};
 use dbmine_bench::{f3, print_table};
 use std::time::Instant;
 
@@ -25,9 +25,10 @@ fn main() {
             .unwrap_or(10_000),
         ..Default::default()
     };
-    let rel = dblp_sample(&spec);
-    let objects = tuple_dcfs(&rel);
-    let mi = TupleRows::build(&rel).mutual_information();
+    let ctx = AnalysisCtx::from(dblp_sample(&spec));
+    let rel = ctx.relation();
+    let objects = tuple_dcfs_ctx(&ctx, 1);
+    let mi = ctx.tuple_mutual_information();
     println!("DBLP {} tuples; I(T;V) = {} bits", rel.n_tuples(), f3(mi));
 
     // φ sweep at B = 4.

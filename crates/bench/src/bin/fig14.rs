@@ -2,14 +2,19 @@
 //! sample relation (φV = 0, φA = 0), plus the Section 8.1.3 stability
 //! check at φV ∈ {0.1, 0.2}.
 
+use dbmine::context::AnalysisCtx;
 use dbmine::datagen::{db2_sample, Db2Spec};
+use dbmine::limbo::LimboParams;
 use dbmine::summaries::render::render_dendrogram;
-use dbmine::summaries::{cluster_values, group_attributes};
+use dbmine::summaries::{cluster_values_ctx, group_attributes};
 use dbmine_bench::f3;
 
 fn main() {
     let sample = db2_sample(&Db2Spec::default());
-    let rel = &sample.relation;
+    // One context for the whole sweep: the ValueIndex and I(V;T) are
+    // built once and shared by all three φV runs.
+    let ctx = AnalysisCtx::from(sample.relation);
+    let rel = ctx.relation();
     println!(
         "DB2 sample: {} tuples, {} attributes, {} distinct values",
         rel.n_tuples(),
@@ -18,7 +23,7 @@ fn main() {
     );
 
     for phi_v in [0.0, 0.1, 0.2] {
-        let values = cluster_values(rel, phi_v, None);
+        let values = cluster_values_ctx(&ctx, LimboParams::with_phi(phi_v), None);
         let grouping = group_attributes(&values, rel.n_attrs());
         let labels: Vec<String> = grouping
             .attrs

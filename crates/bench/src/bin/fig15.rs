@@ -6,9 +6,11 @@
 //! information loss — "the value that prevails in this set of attributes
 //! is the NULL value."
 
+use dbmine::context::AnalysisCtx;
 use dbmine::datagen::{dblp_sample, DblpSpec};
+use dbmine::limbo::LimboParams;
 use dbmine::summaries::render::render_dendrogram;
-use dbmine::summaries::{cluster_values, group_attributes, tuple_summary_assignment};
+use dbmine::summaries::{cluster_values_ctx, group_attributes, tuple_summary_assignment_ctx};
 use dbmine_bench::{dblp_scale, f3, timed};
 
 fn main() {
@@ -16,7 +18,10 @@ fn main() {
         n_tuples: dblp_scale(),
         ..Default::default()
     };
-    let rel = timed("generate DBLP", || dblp_sample(&spec));
+    // One context drives both stages of Double Clustering, so the
+    // ValueIndex (and the tuple views) are built once for the run.
+    let ctx = AnalysisCtx::from(timed("generate DBLP", || dblp_sample(&spec)));
+    let rel = ctx.relation();
     println!(
         "DBLP: {} tuples, {} attributes, {} distinct values",
         rel.n_tuples(),
@@ -27,12 +32,12 @@ fn main() {
     // Double clustering: tuples at φT = 0.5 (paper: 50 000 → 1 361
     // summaries), then values over the tuple clusters.
     let (assignment, n_clusters) = timed("tuple clustering (φT = 0.5)", || {
-        tuple_summary_assignment(&rel, 0.5)
+        tuple_summary_assignment_ctx(&ctx, LimboParams::with_phi(0.5))
     });
     println!("tuple summaries: {n_clusters} (paper: 1361)");
 
     let values = timed("value clustering (φV = 1.0, double)", || {
-        cluster_values(&rel, 1.0, Some(&assignment))
+        cluster_values_ctx(&ctx, LimboParams::with_phi(1.0), Some(&assignment))
     });
     println!(
         "value groups: {} ({} duplicate groups)",

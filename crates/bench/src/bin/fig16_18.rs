@@ -7,8 +7,10 @@
 //! * c2 (journal): correlations among Journal, Volume, Number, Year;
 //! * c3 (misc): "rather random" associations.
 
+use dbmine::context::AnalysisCtx;
+use dbmine::limbo::LimboParams;
 use dbmine::summaries::render::render_dendrogram;
-use dbmine::summaries::{cluster_values, group_attributes, tuple_summary_assignment};
+use dbmine::summaries::{cluster_values_ctx, group_attributes, tuple_summary_assignment_ctx};
 use dbmine_bench::dblp_pipeline::{ordered_by_type, partitioned_dblp};
 use dbmine_bench::{dblp_scale, f3, timed};
 
@@ -19,7 +21,10 @@ fn main() {
 
     let order = ordered_by_type(&p.projected, &p.result.partitions);
     for (slot, &(i, label)) in order.iter().enumerate() {
-        let rel = p.result.partition_relation(&p.projected, i);
+        // One context per partition relation: both Double Clustering
+        // stages share its views.
+        let ctx = AnalysisCtx::from(p.result.partition_relation(&p.projected, i));
+        let rel = ctx.relation();
         println!(
             "\n==== Figure {}: cluster c{} ({} tuples, dominant type: {label}) ====",
             16 + slot,
@@ -27,8 +32,8 @@ fn main() {
             rel.n_tuples()
         );
         // Double clustering within the partition, as in the paper.
-        let (assignment, n_sum) = tuple_summary_assignment(&rel, 0.5);
-        let values = cluster_values(&rel, 1.0, Some(&assignment));
+        let (assignment, n_sum) = tuple_summary_assignment_ctx(&ctx, LimboParams::with_phi(0.5));
+        let values = cluster_values_ctx(&ctx, LimboParams::with_phi(1.0), Some(&assignment));
         let grouping = group_attributes(&values, rel.n_attrs());
         println!(
             "tuple summaries: {n_sum}; duplicate value groups: {}; |A_D| = {}; max IL = {}",

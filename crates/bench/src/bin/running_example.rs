@@ -1,16 +1,19 @@
 //! Regenerates the paper's running example: Figures 4–10 and the
 //! Section 7 FD-RANK walk-through.
 
+use dbmine::context::AnalysisCtx;
 use dbmine::fdmine::mine_fdep;
 use dbmine::fdrank::{decompose, rank_fds};
+use dbmine::limbo::LimboParams;
 use dbmine::relation::paper::{figure4, figure5};
-use dbmine::relation::{Relation, ValueIndex};
 use dbmine::summaries::render::render_dendrogram;
-use dbmine::summaries::{cluster_values, group_attributes};
+use dbmine::summaries::{cluster_values, cluster_values_ctx, group_attributes};
 use dbmine_bench::{f3, print_table};
 
-fn print_matrices(rel: &Relation, title: &str) {
-    let idx = ValueIndex::build(rel);
+fn print_matrices(ctx: &AnalysisCtx, title: &str) {
+    // The same cached index later feeds the Figure 7 value clustering.
+    let rel = ctx.relation();
+    let idx = ctx.value_index();
     let header: Vec<String> = (0..rel.n_tuples()).map(|t| format!("t{}", t + 1)).collect();
     let mut hdr: Vec<&str> = vec!["value"];
     hdr.extend(header.iter().map(String::as_str));
@@ -44,17 +47,18 @@ fn print_matrices(rel: &Relation, title: &str) {
 }
 
 fn main() {
-    let rel = figure4();
+    let ctx = AnalysisCtx::from(figure4());
+    let rel = ctx.relation();
     println!(
         "Relation of Figure 4 ({} tuples, {} attributes, {} values)",
         rel.n_tuples(),
         rel.n_attrs(),
         rel.distinct_value_count()
     );
-    print_matrices(&rel, "Figure 6");
+    print_matrices(&ctx, "Figure 6");
 
     // Value clustering at φV = 0 (Figure 7).
-    let values = cluster_values(&rel, 0.0, None);
+    let values = cluster_values_ctx(&ctx, LimboParams::with_phi(0.0), None);
     let rows: Vec<Vec<String>> = values
         .groups
         .iter()
@@ -121,7 +125,7 @@ fn main() {
     print!("{}", render_dendrogram(&grouping.dendrogram, &labels, 48));
 
     // Section 7: FD-RANK with ψ = 0.5 over {A→B, C→B}.
-    let fds = mine_fdep(&rel);
+    let fds = mine_fdep(rel);
     let ranked = rank_fds(&fds, &grouping, 0.5);
     let names = rel.attr_names().to_vec();
     let rows: Vec<Vec<String>> = ranked
@@ -142,8 +146,8 @@ fn main() {
             .cloned()
     };
     if let (Some(c), Some(a)) = (by("C"), by("A")) {
-        let dc = decompose(&rel, &c);
-        let da = decompose(&rel, &a);
+        let dc = decompose(rel, &c);
+        let da = decompose(rel, &a);
         print_table(
             "Decomposition comparison",
             &["by", "S1 tuples", "S2 tuples", "cells saved"],

@@ -5,10 +5,10 @@
 //! Uses the synthetic generator (planted FDs, Zipf skew) so the relation
 //! shape is held constant while `n` grows.
 
+use dbmine::context::AnalysisCtx;
 use dbmine::datagen::{synthetic, PlantedFd, SyntheticSpec};
-use dbmine::fdmine::{mine_fdep, mine_tane, TaneOptions};
-use dbmine::limbo::{phase1, phase2, phase3, tuple_dcfs, LimboParams};
-use dbmine::relation::TupleRows;
+use dbmine::fdmine::{mine_fdep, mine_tane_ctx, TaneOptions};
+use dbmine::limbo::{phase1, phase2, phase3, tuple_dcfs_ctx, LimboParams};
 use dbmine_bench::print_table;
 use std::time::Instant;
 
@@ -38,9 +38,12 @@ fn main() {
             noise: 0.0,
             seed: 99,
         };
-        let rel = synthetic(&spec);
-        let objects = tuple_dcfs(&rel);
-        let mi = TupleRows::build(&rel).mutual_information();
+        // One context per size: the tuple matrix backing both the DCFs
+        // and I(T;V) is built once instead of twice.
+        let ctx = AnalysisCtx::from(synthetic(&spec));
+        let rel = ctx.relation();
+        let objects = tuple_dcfs_ctx(&ctx, 1);
+        let mi = ctx.tuple_mutual_information();
 
         let t1 = Instant::now();
         let model = phase1(
@@ -60,8 +63,8 @@ fn main() {
         let p3 = ms(t3);
 
         let tt = Instant::now();
-        let fds_tane = mine_tane(
-            &rel,
+        let fds_tane = mine_tane_ctx(
+            &ctx,
             TaneOptions {
                 max_lhs: Some(3),
                 ..Default::default()
@@ -72,7 +75,7 @@ fn main() {
         // FDEP is quadratic — only run it while affordable.
         let fdep_t = if n <= 5_000 {
             let tf = Instant::now();
-            let _ = mine_fdep(&rel);
+            let _ = mine_fdep(rel);
             ms(tf)
         } else {
             "-".to_string()

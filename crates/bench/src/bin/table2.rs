@@ -11,8 +11,10 @@
 //! tuple cluster, the dirty value and the value it replaced share
 //! support and co-cluster at small φV.
 
+use dbmine::context::AnalysisCtx;
 use dbmine::datagen::{db2_sample, inject_near_duplicates, Db2Spec};
-use dbmine::summaries::{cluster_values, tuple_summary_assignment};
+use dbmine::limbo::LimboParams;
+use dbmine::summaries::{cluster_values_ctx, tuple_summary_assignment_ctx};
 use dbmine_bench::print_table;
 
 const ERROR_COUNTS: [usize; 5] = [1, 2, 4, 6, 10];
@@ -25,8 +27,11 @@ fn correct_placements(n_dups: usize, errors: usize, phi_t: f64, phi_v: f64) -> (
     for seed in 0..TRIALS {
         let injected = inject_near_duplicates(&sample.relation, n_dups, errors, 4000 + seed);
         let rel = &injected.relation;
-        let (assignment, _) = tuple_summary_assignment(rel, phi_t);
-        let clustering = cluster_values(rel, phi_v, Some(&assignment));
+        // One context per injected instance: both Double Clustering
+        // stages share its views.
+        let ctx = AnalysisCtx::of(rel);
+        let (assignment, _) = tuple_summary_assignment_ctx(&ctx, LimboParams::with_phi(phi_t));
+        let clustering = cluster_values_ctx(&ctx, LimboParams::with_phi(phi_v), Some(&assignment));
         for dup in &injected.injected {
             for cell in &dup.dirty_cells {
                 planted += 1;

@@ -8,15 +8,20 @@
 //!   3. [EmpNo]→[BirthYear,FirstName,...]  RAD 0.924  RTR 0.878
 //!   4. [ProjNo]→[ProjName,RespEmpNo,...]  RAD 0.872  RTR 0.800
 
+use dbmine::context::AnalysisCtx;
 use dbmine::datagen::{db2_sample, Db2Spec};
 use dbmine::fdmine::{mine_fdep, minimum_cover};
-use dbmine::fdrank::{decompose, rad, rank_fds, rtr};
-use dbmine::summaries::{cluster_values, group_attributes};
+use dbmine::fdrank::{decompose, rad_ctx, rank_fds, rtr_ctx};
+use dbmine::limbo::LimboParams;
+use dbmine::summaries::{cluster_values_ctx, group_attributes};
 use dbmine_bench::{f3, print_table, timed};
 
 fn main() {
     let sample = db2_sample(&Db2Spec::default());
-    let rel = &sample.relation;
+    // One context: the value clustering and the per-FD RAD/RTR all share
+    // its cached views and projection stats.
+    let ctx = AnalysisCtx::from(sample.relation);
+    let rel = ctx.relation();
     let names = rel.attr_names().to_vec();
 
     let fds = timed("FDEP", || mine_fdep(rel));
@@ -27,7 +32,7 @@ fn main() {
         cover.len()
     );
 
-    let values = cluster_values(rel, 0.0, None);
+    let values = cluster_values_ctx(&ctx, LimboParams::with_phi(0.0), None);
     let grouping = group_attributes(&values, rel.n_attrs());
     let ranked = rank_fds(&cover, &grouping, 0.5);
 
@@ -39,8 +44,8 @@ fn main() {
             vec![
                 r.display(&names),
                 f3(r.rank),
-                f3(rad(rel, attrs)),
-                f3(rtr(rel, attrs)),
+                f3(rad_ctx(&ctx, attrs)),
+                f3(rtr_ctx(&ctx, attrs)),
             ]
         })
         .collect();

@@ -12,9 +12,11 @@
 //! * c3 (misc): no functional dependencies — "this relation does not
 //!   have internal structure".
 
-use dbmine::fdmine::{mine_tane, minimum_cover, TaneOptions};
-use dbmine::fdrank::{rad, rank_fds, rtr};
-use dbmine::summaries::{cluster_values, group_attributes, tuple_summary_assignment};
+use dbmine::context::AnalysisCtx;
+use dbmine::fdmine::{mine_tane_ctx, minimum_cover, TaneOptions};
+use dbmine::fdrank::{rad_ctx, rank_fds, rtr_ctx};
+use dbmine::limbo::LimboParams;
+use dbmine::summaries::{cluster_values_ctx, group_attributes, tuple_summary_assignment_ctx};
 use dbmine_bench::dblp_pipeline::{ordered_by_type, partitioned_dblp};
 use dbmine_bench::{dblp_scale, f3, print_table, timed};
 
@@ -25,7 +27,10 @@ fn main() {
 
     let order = ordered_by_type(&p.projected, &p.result.partitions);
     for (slot, &(i, label)) in order.iter().enumerate() {
-        let rel = p.result.partition_relation(&p.projected, i);
+        // One context per partition: TANE's seed partitions, the Double
+        // Clustering views, and the RAD/RTR projections are all shared.
+        let ctx = AnalysisCtx::from(p.result.partition_relation(&p.projected, i));
+        let rel = ctx.relation();
         let names = rel.attr_names().to_vec();
         println!(
             "\n==== Table {}: cluster c{} ({} tuples, {label}) ====",
@@ -38,7 +43,7 @@ fn main() {
             rel.n_tuples()
         );
 
-        let fds = timed("TANE", || mine_tane(&rel, TaneOptions::default()));
+        let fds = timed("TANE", || mine_tane_ctx(&ctx, TaneOptions::default()));
         let cover = minimum_cover(&fds);
         println!(
             "TANE found {} minimal FDs; minimum cover {}",
@@ -50,8 +55,8 @@ fn main() {
             continue;
         }
 
-        let (assignment, _) = tuple_summary_assignment(&rel, 0.5);
-        let values = cluster_values(&rel, 1.0, Some(&assignment));
+        let (assignment, _) = tuple_summary_assignment_ctx(&ctx, LimboParams::with_phi(0.5));
+        let values = cluster_values_ctx(&ctx, LimboParams::with_phi(1.0), Some(&assignment));
         let grouping = group_attributes(&values, rel.n_attrs());
         let ranked = rank_fds(&cover, &grouping, 0.5);
 
@@ -63,8 +68,8 @@ fn main() {
                 vec![
                     r.display(&names),
                     f3(r.rank),
-                    f3(rad(&rel, attrs)),
-                    f3(rtr(&rel, attrs)),
+                    f3(rad_ctx(&ctx, attrs)),
+                    f3(rtr_ctx(&ctx, attrs)),
                 ]
             })
             .collect();

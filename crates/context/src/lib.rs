@@ -1,0 +1,372 @@
+//! `AnalysisCtx` — a shared, lazily-memoized view cache over one
+//! relation.
+//!
+//! Every tool in the paper consumes the same handful of probabilistic
+//! views of the relation: the tuple matrix `M` ([`TupleRows`]), the
+//! value matrix `N` / support matrix `O` ([`ValueIndex`]), the mutual
+//! informations `I(T;V)` and `I(V;T)`, single-attribute stripped
+//! partitions (`π_A`), per-column profiles, and projection
+//! entropy/distinct-count statistics. Historically each consumer rebuilt
+//! them from scratch; an [`AnalysisCtx`] wraps an `Arc<Relation>` and
+//! builds each view **at most once**, on first use, behind a
+//! [`OnceLock`] (or a bounded `Mutex`-guarded memo for the
+//! [`AttrSet`]-keyed projection statistics).
+//!
+//! # Sharing contract
+//!
+//! * The context is `Send + Sync`; share it by reference (or wrap it in
+//!   an `Arc`) across threads, parameter sweeps, CLI subcommands and
+//!   repeated `analyze` calls over the same relation.
+//! * Views are owned by the context and handed out as references; they
+//!   are never rebuilt, so a cached view is bit-identical on every
+//!   access.
+//! * The relation itself is immutable. If the relation changes (e.g. a
+//!   decomposition step), build a **new** context — there is no
+//!   invalidation.
+//!
+//! # Telemetry
+//!
+//! Every view construction bumps `Counter::ViewBuilds` and every access
+//! served from a cached view bumps `Counter::ViewCacheHits` (global,
+//! feature-gated). The same two numbers are additionally tracked
+//! per-context in [`ViewStats`] — always on, race-free within the
+//! context — so tests can pin exact build counts without serializing on
+//! the process-global counters. Build counts are exact even under
+//! concurrent access (the `OnceLock` initializer runs once; the
+//! projection memo computes under its lock); hit counts are exact in
+//! the single-threaded case and best-effort during a concurrent first
+//! build.
+//!
+//! # Opting new views in
+//!
+//! A new shared view gets (1) a `OnceLock` (or bounded memo) field, (2)
+//! an accessor that goes through [`AnalysisCtx::view`] (or replicates
+//! its hit/build accounting), and (3) a line in the DESIGN.md "Analysis
+//! context" table. Nothing else: consumers receive `&AnalysisCtx` and
+//! call the accessor.
+
+use dbmine_relation::stats::{self, ColumnProfile};
+use dbmine_relation::{AttrSet, Relation, StrippedPartition, TupleRows, ValueIndex};
+use fxhash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Memoized projection statistics for one attribute set: the RTR
+/// distinct count and the RAD bag-semantics entropy, computed from a
+/// single `projection_counts` pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProjectionStats {
+    /// Distinct tuples in the projection (set semantics).
+    pub distinct: usize,
+    /// Shannon entropy (bits) of the projected-tuple distribution (bag
+    /// semantics).
+    pub entropy: f64,
+}
+
+/// Per-context view-cache statistics (always on, independent of the
+/// `telemetry` feature).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Views materialized by this context.
+    pub builds: u64,
+    /// Accesses served from an already-built view.
+    pub hits: u64,
+}
+
+/// Upper bound on memoized projection attribute sets. Beyond the cap,
+/// stats are still computed (and counted as builds) but no longer
+/// inserted, so a pathological sweep over many attribute sets cannot
+/// grow the context without bound.
+const PROJECTION_MEMO_CAP: usize = 4096;
+
+/// A lazily-memoized bundle of shared views over one relation. See the
+/// module docs for the sharing contract.
+pub struct AnalysisCtx {
+    rel: Arc<Relation>,
+    tuple_rows: OnceLock<TupleRows>,
+    value_index: OnceLock<ValueIndex>,
+    tuple_mi: OnceLock<f64>,
+    value_mi: OnceLock<f64>,
+    attr_parts: Vec<OnceLock<StrippedPartition>>,
+    profiles: OnceLock<Vec<ColumnProfile>>,
+    projections: Mutex<FxHashMap<u64, ProjectionStats>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for AnalysisCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCtx")
+            .field("relation", &self.rel.name())
+            .field("stats", &self.view_stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AnalysisCtx {
+    /// A fresh context over `rel`; no view is built yet.
+    pub fn new(rel: Arc<Relation>) -> Self {
+        let m = rel.n_attrs();
+        let mut attr_parts = Vec::with_capacity(m);
+        attr_parts.resize_with(m, OnceLock::new);
+        AnalysisCtx {
+            rel,
+            tuple_rows: OnceLock::new(),
+            value_index: OnceLock::new(),
+            tuple_mi: OnceLock::new(),
+            value_mi: OnceLock::new(),
+            attr_parts,
+            profiles: OnceLock::new(),
+            projections: Mutex::new(FxHashMap::default()),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A transient context over a borrowed relation (clones it once).
+    ///
+    /// This is what the thin `&Relation` convenience wrappers throughout
+    /// the workspace use; the clone is a columnar memcpy, cheap next to
+    /// any of the views. Callers that analyze the same relation more
+    /// than once should build one [`AnalysisCtx::new`] and share it.
+    pub fn of(rel: &Relation) -> Self {
+        AnalysisCtx::new(Arc::new(rel.clone()))
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// A new handle on the underlying relation's `Arc`.
+    pub fn relation_arc(&self) -> Arc<Relation> {
+        Arc::clone(&self.rel)
+    }
+
+    /// Per-context build/hit counts (see [`ViewStats`]).
+    pub fn view_stats(&self) -> ViewStats {
+        ViewStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_build(&self) {
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::ViewBuilds, 1);
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        dbmine_telemetry::counter_add(dbmine_telemetry::Counter::ViewCacheHits, 1);
+    }
+
+    /// The caching kernel every `OnceLock`-backed view goes through:
+    /// serve-and-count a cached value, or build-and-count exactly once
+    /// (the `OnceLock` guarantees the initializer runs on one thread
+    /// even under concurrent first access).
+    fn view<'a, T>(&self, cell: &'a OnceLock<T>, build: impl FnOnce() -> T) -> &'a T {
+        if let Some(v) = cell.get() {
+            self.record_hit();
+            return v;
+        }
+        cell.get_or_init(|| {
+            self.record_build();
+            build()
+        })
+    }
+
+    /// The tuple matrix `M` view (`p(V|t)`, attribute-qualified keys).
+    pub fn tuple_rows(&self) -> &TupleRows {
+        self.view(&self.tuple_rows, || TupleRows::build(&self.rel))
+    }
+
+    /// The value view (`p(T|v)` occurrence lists + support matrix `O`).
+    pub fn value_index(&self) -> &ValueIndex {
+        self.view(&self.value_index, || ValueIndex::build(&self.rel))
+    }
+
+    /// `I(T;V)` — mutual information of the tuple view.
+    pub fn tuple_mutual_information(&self) -> f64 {
+        *self.view(&self.tuple_mi, || self.tuple_rows().mutual_information())
+    }
+
+    /// `I(V;T)` — mutual information of the value view.
+    pub fn value_mutual_information(&self) -> f64 {
+        *self.view(&self.value_mi, || self.value_index().mutual_information())
+    }
+
+    /// The single-attribute stripped partition `π_A`.
+    pub fn attr_partition(&self, a: usize) -> &StrippedPartition {
+        self.view(&self.attr_parts[a], || {
+            StrippedPartition::of_attr(&self.rel, a)
+        })
+    }
+
+    /// All single-attribute partitions, in attribute order. `threads`
+    /// bounds the workers used to build whichever partitions are still
+    /// missing (`m ≤ 64`, so in practice the parallel map's small-input
+    /// serial fallback applies — the knob exists for interface symmetry
+    /// with the TANE seed it replaces).
+    pub fn attr_partitions_with(&self, threads: usize) -> Vec<&StrippedPartition> {
+        dbmine_parallel::par_map_range(threads, self.rel.n_attrs(), |a| self.attr_partition(a))
+    }
+
+    /// Per-column profiles (distinct, NULL fraction, entropy). The
+    /// per-column distinct/entropy numbers are routed through the
+    /// projection memo, so later single-attribute
+    /// [`Self::projection_stats`] lookups are cache hits.
+    pub fn column_profiles(&self) -> &[ColumnProfile] {
+        let v: &Vec<ColumnProfile> = self.view(&self.profiles, || {
+            (0..self.rel.n_attrs())
+                .map(|a| {
+                    let s = self.projection_stats(AttrSet::single(a));
+                    ColumnProfile {
+                        name: self.rel.attr_names()[a].clone(),
+                        distinct: s.distinct,
+                        null_fraction: self.rel.null_fraction(a),
+                        entropy: s.entropy,
+                    }
+                })
+                .collect()
+        });
+        v
+    }
+
+    /// Distinct count and entropy of the projection on `attrs`, served
+    /// from the bounded [`AttrSet`]-keyed memo. The memo lock is held
+    /// across the (single) computation so concurrent first accesses
+    /// never duplicate work and build counts stay exact; projections
+    /// are cheap relative to the clustering and mining stages that
+    /// surround them.
+    pub fn projection_stats(&self, attrs: AttrSet) -> ProjectionStats {
+        let key = attrs.bits();
+        let mut memo = self.projections.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&s) = memo.get(&key) {
+            self.record_hit();
+            return s;
+        }
+        let (distinct, entropy) = stats::projection_stats(&self.rel, attrs);
+        let s = ProjectionStats { distinct, entropy };
+        self.record_build();
+        if memo.len() < PROJECTION_MEMO_CAP {
+            memo.insert(key, s);
+        }
+        s
+    }
+
+    /// Memoized `H(π_attrs(T))` (bag semantics), the RAD ingredient.
+    pub fn projection_entropy(&self, attrs: AttrSet) -> f64 {
+        self.projection_stats(attrs).entropy
+    }
+
+    /// Memoized distinct count of the projection, the RTR ingredient.
+    pub fn projection_distinct(&self, attrs: AttrSet) -> usize {
+        self.projection_stats(attrs).distinct
+    }
+}
+
+impl From<Relation> for AnalysisCtx {
+    fn from(rel: Relation) -> Self {
+        AnalysisCtx::new(Arc::new(rel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmine_relation::paper::{figure1, figure4};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn context_is_send_and_sync() {
+        assert_send_sync::<AnalysisCtx>();
+    }
+
+    #[test]
+    fn views_match_fresh_builds() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        assert_eq!(ctx.tuple_rows().len(), rel.n_tuples());
+        assert_eq!(ctx.value_index().len(), ValueIndex::build(&rel).len());
+        assert_eq!(
+            ctx.tuple_mutual_information(),
+            TupleRows::build(&rel).mutual_information()
+        );
+        assert_eq!(
+            ctx.value_mutual_information(),
+            ValueIndex::build(&rel).mutual_information()
+        );
+        for a in 0..rel.n_attrs() {
+            assert_eq!(ctx.attr_partition(a), &StrippedPartition::of_attr(&rel, a));
+        }
+    }
+
+    #[test]
+    fn each_view_builds_once() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        ctx.tuple_rows();
+        ctx.tuple_rows();
+        // The MI initializer touches tuple_rows (one hit) and builds MI.
+        ctx.tuple_mutual_information();
+        ctx.tuple_mutual_information();
+        let s = ctx.view_stats();
+        assert_eq!(s.builds, 2, "TupleRows + I(T;V): {s:?}");
+        assert_eq!(s.hits, 3, "{s:?}");
+    }
+
+    #[test]
+    fn projection_memo_serves_profiles_and_measures() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        let profiles = ctx.column_profiles().to_vec();
+        assert_eq!(profiles, dbmine_relation::stats::profile_columns(&rel));
+        let after_profiles = ctx.view_stats();
+        // 1 for the profile vector + m memo entries.
+        assert_eq!(after_profiles.builds, 1 + rel.n_attrs() as u64);
+        // Single-attribute lookups now hit the memo.
+        for (a, profile) in profiles.iter().enumerate() {
+            let s = ctx.projection_stats(AttrSet::single(a));
+            assert_eq!(s.distinct, profile.distinct);
+        }
+        let end = ctx.view_stats();
+        assert_eq!(end.builds, after_profiles.builds);
+        assert_eq!(end.hits, after_profiles.hits + rel.n_attrs() as u64);
+    }
+
+    #[test]
+    fn projection_stats_match_direct_computation() {
+        let rel = figure1();
+        let ctx = AnalysisCtx::of(&rel);
+        let all = rel.all_attrs();
+        let s = ctx.projection_stats(all);
+        assert_eq!(s.distinct, stats::projection_distinct(&rel, all));
+        let h = stats::projection_entropy(&rel, all);
+        assert!((s.entropy - h).abs() < 1e-9, "{} vs {h}", s.entropy);
+    }
+
+    #[test]
+    fn empty_relation_views() {
+        let rel = dbmine_relation::RelationBuilder::new("e", &["X", "Y"]).build();
+        let ctx = AnalysisCtx::of(&rel);
+        assert!(ctx.tuple_rows().is_empty());
+        assert!(ctx.value_index().is_empty());
+        assert_eq!(ctx.projection_distinct(rel.all_attrs()), 0);
+        assert_eq!(ctx.projection_entropy(rel.all_attrs()), 0.0);
+        assert!(ctx.attr_partition(0).classes.is_empty());
+    }
+
+    #[test]
+    fn attr_partitions_with_builds_each_once() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        let parts = ctx.attr_partitions_with(4);
+        assert_eq!(parts.len(), rel.n_attrs());
+        assert_eq!(ctx.view_stats().builds, rel.n_attrs() as u64);
+        let again = ctx.attr_partitions_with(1);
+        assert_eq!(parts, again);
+        assert_eq!(ctx.view_stats().builds, rel.n_attrs() as u64);
+    }
+}

@@ -8,12 +8,13 @@
 //! dbmine redesign   <file.csv> [--steps N]
 //! ```
 
-use dbmine::fdmine::{mine_approximate_with, minimum_cover};
+use dbmine::context::AnalysisCtx;
+use dbmine::fdmine::{mine_approximate_ctx, minimum_cover};
 use dbmine::fdrank::decompose;
 use dbmine::limbo::LimboParams;
 use dbmine::relation::csv::read_relation_path;
 use dbmine::relation::Relation;
-use dbmine::summaries::{find_duplicate_tuples_with, horizontal_partition_with};
+use dbmine::summaries::{find_duplicate_tuples_ctx, horizontal_partition_ctx};
 use dbmine::telemetry;
 use dbmine::{FdMiner, MinerConfig, StructureMiner};
 use std::process::exit;
@@ -119,7 +120,7 @@ fn load(path: &str) -> Relation {
 }
 
 fn cmd_analyze(args: &Args) {
-    let rel = load(&args.path);
+    let ctx = AnalysisCtx::from(load(&args.path));
     let config = MinerConfig {
         phi_tuples: args.f64_flag("phi-t", 0.1),
         phi_values: args.f64_flag("phi-v", 0.0),
@@ -128,15 +129,16 @@ fn cmd_analyze(args: &Args) {
         max_lhs: args.usize_flag("max-lhs"),
         threads: args.threads(),
     };
-    let report = StructureMiner::new(config).analyze(&rel);
-    print!("{}", report.render(&rel));
+    let report = StructureMiner::new(config).analyze_ctx(&ctx);
+    print!("{}", report.render(ctx.relation()));
 }
 
 fn cmd_duplicates(args: &Args) {
-    let rel = load(&args.path);
+    let ctx = AnalysisCtx::from(load(&args.path));
+    let rel = ctx.relation();
     let phi = args.f64_flag("phi-t", 0.1);
     let report =
-        find_duplicate_tuples_with(&rel, LimboParams::with_phi(phi).threads(args.threads()));
+        find_duplicate_tuples_ctx(&ctx, LimboParams::with_phi(phi).threads(args.threads()));
     println!(
         "φT = {phi}: {} candidate groups (threshold τ = {:.3e})",
         report.groups.len(),
@@ -154,13 +156,13 @@ fn cmd_duplicates(args: &Args) {
 }
 
 fn cmd_fds(args: &Args) {
-    let rel = load(&args.path);
-    let names = rel.attr_names().to_vec();
+    let ctx = AnalysisCtx::from(load(&args.path));
+    let names = ctx.relation().attr_names().to_vec();
     let max_lhs = args.usize_flag("max-lhs");
     match args.flags.get("approx") {
         Some(eps) => {
             let eps: f64 = eps.parse().unwrap_or_else(|_| usage());
-            let approx = mine_approximate_with(&rel, eps, max_lhs, args.threads());
+            let approx = mine_approximate_ctx(&ctx, eps, max_lhs, args.threads());
             println!("approximate dependencies (g3 ≤ {eps}): {}", approx.len());
             let mut sorted = approx;
             sorted.sort_by(|a, b| a.error.total_cmp(&b.error));
@@ -169,8 +171,8 @@ fn cmd_fds(args: &Args) {
             }
         }
         None => {
-            let fds = dbmine::fdmine::mine_tane(
-                &rel,
+            let fds = dbmine::fdmine::mine_tane_ctx(
+                &ctx,
                 dbmine::fdmine::TaneOptions {
                     max_lhs,
                     threads: args.threads(),
@@ -190,11 +192,12 @@ fn cmd_fds(args: &Args) {
 }
 
 fn cmd_partition(args: &Args) {
-    let rel = load(&args.path);
+    let ctx = AnalysisCtx::from(load(&args.path));
+    let rel = ctx.relation();
     let phi = args.f64_flag("phi-t", 0.5);
     let k = args.usize_flag("k");
-    let part = horizontal_partition_with(
-        &rel,
+    let part = horizontal_partition_ctx(
+        &ctx,
         LimboParams::with_phi(phi).threads(args.threads()),
         k,
         8,
@@ -221,13 +224,16 @@ fn cmd_redesign(args: &Args) {
     let steps = args.usize_flag("steps").unwrap_or(3);
     let mut current = rel;
     for step in 1..=steps {
-        let report = StructureMiner::default().analyze(&current);
+        // One context per step: the relation changes after each split,
+        // and a context is never invalidated — see the module docs.
+        let ctx = AnalysisCtx::from(current);
+        let report = StructureMiner::default().analyze_ctx(&ctx);
         let Some(top) = report.ranked.iter().find(|r| r.fd.promoted) else {
             println!("step {step}: no promoted dependency — stopping");
             break;
         };
-        let names = current.attr_names().to_vec();
-        let d = decompose(&current, &top.fd);
+        let names = ctx.relation().attr_names().to_vec();
+        let d = decompose(ctx.relation(), &top.fd);
         println!(
             "step {step}: split by {} → {} ({} × {}) + remainder ({} × {}), {:.1}% fewer cells",
             top.display(&names),

@@ -37,6 +37,7 @@
 //! |---|---|
 //! | [`infotheory`] | entropy, mutual information, KL/JS divergence |
 //! | [`relation`] | categorical relations, CSV I/O, the M/N/O matrices |
+//! | [`context`] | `AnalysisCtx`: shared, lazily-memoized view cache over one relation |
 //! | [`ib`] | DCFs, Agglomerative Information Bottleneck, dendrograms |
 //! | [`limbo`] | the scalable LIMBO clustering pipeline |
 //! | [`summaries`] | duplicate tuples, horizontal partitioning, value & attribute grouping |
@@ -46,6 +47,7 @@
 //! | [`baselines`] | Apriori itemsets, pairwise duplicate detection |
 
 pub use dbmine_baselines as baselines;
+pub use dbmine_context as context;
 pub use dbmine_datagen as datagen;
 pub use dbmine_fdmine as fdmine;
 pub use dbmine_fdrank as fdrank;

@@ -1,12 +1,13 @@
 //! The high-level structure-mining pipeline.
 
-use dbmine_fdmine::{mine_fdep, mine_tane, minimum_cover, Fd, TaneOptions};
-use dbmine_fdrank::{rad, rank_fds, rtr, RankedFd};
+use dbmine_context::AnalysisCtx;
+use dbmine_fdmine::{mine_fdep, mine_tane_ctx, minimum_cover, Fd, TaneOptions};
+use dbmine_fdrank::{rad_ctx, rank_fds, rtr_ctx, RankedFd};
 use dbmine_limbo::LimboParams;
-use dbmine_relation::stats::{profile_columns, ColumnProfile};
+use dbmine_relation::stats::ColumnProfile;
 use dbmine_relation::Relation;
 use dbmine_summaries::{
-    cluster_values_with, find_duplicate_tuples_with, group_attributes, AttributeGrouping,
+    cluster_values_ctx, find_duplicate_tuples_ctx, group_attributes, AttributeGrouping,
     DuplicateReport, ValueClustering,
 };
 
@@ -219,17 +220,31 @@ impl StructureMiner {
     /// Runs the full pipeline: profiling → duplicate tuples → value
     /// clustering → attribute grouping → FD mining → minimum cover →
     /// FD-RANK with RAD/RTR.
+    ///
+    /// Builds a transient [`AnalysisCtx`]; callers analyzing the same
+    /// relation more than once (parameter sweeps, repeated CLI calls)
+    /// should hold a context and call [`Self::analyze_ctx`] so the
+    /// shared views are built once.
     pub fn analyze(&self, rel: &Relation) -> StructureReport {
+        self.analyze_ctx(&AnalysisCtx::of(rel))
+    }
+
+    /// As [`Self::analyze`], over a shared [`AnalysisCtx`]. One analyze
+    /// run builds `TupleRows`, `ValueIndex` and each single-attribute
+    /// partition exactly once (pinned by a telemetry regression test);
+    /// repeated runs over the same context build nothing.
+    pub fn analyze_ctx(&self, ctx: &AnalysisCtx) -> StructureReport {
         let _span = dbmine_telemetry::span!("miner.analyze");
         let c = &self.config;
+        let rel = ctx.relation();
         let columns = {
             let _s = dbmine_telemetry::span!("miner.profile_columns");
-            profile_columns(rel)
+            ctx.column_profiles().to_vec()
         };
         let duplicate_tuples =
-            find_duplicate_tuples_with(rel, LimboParams::with_phi(c.phi_tuples).threads(c.threads));
-        let value_groups = cluster_values_with(
-            rel,
+            find_duplicate_tuples_ctx(ctx, LimboParams::with_phi(c.phi_tuples).threads(c.threads));
+        let value_groups = cluster_values_ctx(
+            ctx,
             LimboParams::with_phi(c.phi_values).threads(c.threads),
             None,
         );
@@ -239,8 +254,8 @@ impl StructureMiner {
             let _s = dbmine_telemetry::span!("miner.mine_fds");
             match self.effective_miner(rel) {
                 FdMiner::Fdep => mine_fdep(rel),
-                _ => mine_tane(
-                    rel,
+                _ => mine_tane_ctx(
+                    ctx,
                     TaneOptions {
                         max_lhs: c.max_lhs,
                         threads: c.threads,
@@ -257,8 +272,8 @@ impl StructureMiner {
                 .map(|fd| {
                     let attrs = fd.attrs();
                     RankedDependency {
-                        rad: rad(rel, attrs),
-                        rtr: rtr(rel, attrs),
+                        rad: rad_ctx(ctx, attrs),
+                        rtr: rtr_ctx(ctx, attrs),
                         fd,
                     }
                 })

@@ -15,7 +15,8 @@
 
 use crate::fd::{normalize_fds, Fd};
 use crate::partitions::{PartitionScratch, StrippedPartition};
-use dbmine_parallel::{par_map_init, par_map_range};
+use dbmine_context::AnalysisCtx;
+use dbmine_parallel::par_map_init;
 use dbmine_relation::{AttrSet, Relation};
 use fxhash::{FxHashMap, FxHashSet};
 
@@ -40,13 +41,30 @@ pub fn mine_approximate(rel: &Relation, epsilon: f64, max_lhs: Option<usize>) ->
 /// serial, `0` = all cores). The `g3` tests and the prefix-join
 /// products fan out with deterministic chunking, so results are
 /// bit-identical for every thread count.
+///
+/// Builds a transient [`AnalysisCtx`]; callers analyzing the same
+/// relation more than once should hold a context and call
+/// [`mine_approximate_ctx`] so the single-attribute seed partitions are
+/// shared.
 pub fn mine_approximate_with(
     rel: &Relation,
     epsilon: f64,
     max_lhs: Option<usize>,
     threads: usize,
 ) -> Vec<ApproxFd> {
+    mine_approximate_ctx(&AnalysisCtx::of(rel), epsilon, max_lhs, threads)
+}
+
+/// As [`mine_approximate_with`], seeding level 1 from the context's
+/// memoized single-attribute partitions instead of rebuilding them.
+pub fn mine_approximate_ctx(
+    ctx: &AnalysisCtx,
+    epsilon: f64,
+    max_lhs: Option<usize>,
+    threads: usize,
+) -> Vec<ApproxFd> {
     assert!((0.0..1.0).contains(&epsilon), "ε must be in [0,1)");
+    let rel = ctx.relation();
     let m = rel.n_attrs();
     let mut found: Vec<ApproxFd> = Vec::new();
     // Minimality: per RHS, the LHSs already emitted.
@@ -58,8 +76,11 @@ pub fn mine_approximate_with(
         StrippedPartition::of_empty(rel.n_tuples()),
     ))
     .collect();
-    let attr_parts: Vec<StrippedPartition> =
-        par_map_range(threads, m, |a| StrippedPartition::of_attr(rel, a));
+    let attr_parts: Vec<StrippedPartition> = ctx
+        .attr_partitions_with(threads)
+        .into_iter()
+        .cloned()
+        .collect();
     let mut current: Vec<AttrSet> = (0..m).map(AttrSet::single).collect();
     let mut current_parts: FxHashMap<u64, StrippedPartition> = attr_parts
         .into_iter()

@@ -2,6 +2,7 @@
 //! dependencies.
 
 use crate::partitions::{PartitionScratch, StrippedPartition};
+use dbmine_context::AnalysisCtx;
 use dbmine_relation::{AttrId, AttrSet, Relation};
 
 /// Builds the stripped partition of an arbitrary attribute set.
@@ -14,6 +15,23 @@ pub fn partition_of(rel: &Relation, attrs: AttrSet) -> StrippedPartition {
             let mut p = StrippedPartition::of_attr(rel, first);
             for a in iter {
                 p = p.product_with(&StrippedPartition::of_attr(rel, a), &mut scratch);
+            }
+            p
+        }
+    }
+}
+
+/// As [`partition_of`], folding the product from the context's memoized
+/// single-attribute partitions instead of rebuilding each factor.
+pub fn partition_of_ctx(ctx: &AnalysisCtx, attrs: AttrSet) -> StrippedPartition {
+    let mut iter = attrs.iter();
+    match iter.next() {
+        None => StrippedPartition::of_empty(ctx.relation().n_tuples()),
+        Some(first) => {
+            let mut scratch = PartitionScratch::new();
+            let mut p = ctx.attr_partition(first).clone();
+            for a in iter {
+                p = p.product_with(ctx.attr_partition(a), &mut scratch);
             }
             p
         }

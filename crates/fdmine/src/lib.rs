@@ -35,15 +35,21 @@ pub mod fastfds;
 pub mod fd;
 pub mod fdep;
 pub mod mvd;
-pub mod partitions;
 pub mod tane;
 
-pub use approximate::{exact_subset, mine_approximate, mine_approximate_with, ApproxFd};
-pub use check::{fd_error_g3, fd_holds, partition_of};
+/// Stripped partitions now live in `dbmine-relation` (so the shared
+/// `dbmine-context` view cache can memoize them); re-exported under the
+/// historical path for existing callers.
+pub use dbmine_relation::partition as partitions;
+
+pub use approximate::{
+    exact_subset, mine_approximate, mine_approximate_ctx, mine_approximate_with, ApproxFd,
+};
+pub use check::{fd_error_g3, fd_holds, partition_of, partition_of_ctx};
 pub use cover::{closure, minimum_cover};
 pub use fastfds::mine_fastfds;
 pub use fd::Fd;
 pub use fdep::mine_fdep;
 pub use mvd::{mine_mvds, mvd_holds, Mvd};
 pub use partitions::{PartitionScratch, StrippedPartition};
-pub use tane::{mine_tane, TaneOptions};
+pub use tane::{mine_tane, mine_tane_ctx, TaneOptions};

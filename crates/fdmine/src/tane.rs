@@ -25,7 +25,8 @@
 
 use crate::fd::{normalize_fds, Fd};
 use crate::partitions::{PartitionScratch, StrippedPartition};
-use dbmine_parallel::{par_map, par_map_init, par_map_range};
+use dbmine_context::AnalysisCtx;
+use dbmine_parallel::{par_map, par_map_init};
 use dbmine_relation::{AttrSet, Relation};
 use fxhash::{FxHashMap, FxHashSet};
 
@@ -73,14 +74,31 @@ struct Level {
 }
 
 /// Mines all minimal non-trivial FDs of `rel` with TANE.
+///
+/// Builds a transient [`AnalysisCtx`]; callers analyzing the same
+/// relation more than once should hold a context and call
+/// [`mine_tane_ctx`] so the single-attribute seed partitions are shared
+/// (with FD-RANK, the approximate miner, …).
 pub fn mine_tane(rel: &Relation, options: TaneOptions) -> Vec<Fd> {
+    mine_tane_ctx(&AnalysisCtx::of(rel), options)
+}
+
+/// As [`mine_tane`], seeding level 1 from the context's memoized
+/// single-attribute partitions instead of rebuilding them.
+pub fn mine_tane_ctx(ctx: &AnalysisCtx, options: TaneOptions) -> Vec<Fd> {
+    let rel = ctx.relation();
     let m = rel.n_attrs();
     let r = rel.all_attrs();
     let threads = options.threads;
     let mut out: Vec<Fd> = Vec::new();
-    // Persistent single-attribute partitions (level 1 + key pruning).
-    let attr_parts: Vec<StrippedPartition> =
-        par_map_range(threads, m, |a| StrippedPartition::of_attr(rel, a));
+    // Persistent single-attribute partitions (level 1 + key pruning),
+    // cloned out of the shared view cache so the lattice walk keeps
+    // owning its own copies.
+    let attr_parts: Vec<StrippedPartition> = ctx
+        .attr_partitions_with(threads)
+        .into_iter()
+        .cloned()
+        .collect();
 
     // Level 0: the empty set.
     let mut prev = Level {

@@ -24,6 +24,6 @@ pub mod redundancy;
 
 pub use content::{column_content, position_content};
 pub use decompose::{decompose, Decomposition};
-pub use measures::{rad, rtr};
+pub use measures::{rad, rad_ctx, rtr, rtr_ctx};
 pub use rank::{rank_fds, RankedFd};
-pub use redundancy::{redundancy_fraction, redundant_cells, RedundantCell};
+pub use redundancy::{redundancy_fraction, redundant_cells, redundant_cells_ctx, RedundantCell};

@@ -1,5 +1,6 @@
 //! The duplication measures of Section 8: RAD and RTR.
 
+use dbmine_context::AnalysisCtx;
 use dbmine_relation::stats::{projection_distinct, projection_entropy};
 use dbmine_relation::{AttrSet, Relation};
 
@@ -27,6 +28,20 @@ pub fn rad(rel: &Relation, attrs: AttrSet) -> f64 {
     1.0 - p_ca * h / (n as f64).log2()
 }
 
+/// As [`rad`], serving the projection entropy from the context's
+/// bounded memo — ranking many dependencies over shared attribute sets
+/// projects each set once instead of once per measure.
+pub fn rad_ctx(ctx: &AnalysisCtx, attrs: AttrSet) -> f64 {
+    let rel = ctx.relation();
+    let n = rel.n_tuples();
+    if n <= 1 || attrs.is_empty() {
+        return 1.0;
+    }
+    let p_ca = attrs.len() as f64 / rel.n_attrs() as f64;
+    let h = ctx.projection_entropy(attrs);
+    1.0 - p_ca * h / (n as f64).log2()
+}
+
 /// Relative Tuple Reduction: `RTR(C_A) = 1 − n'/n` where `n'` is the
 /// number of distinct tuples of the projection on `C_A` (set semantics).
 /// The fraction of tuples that disappear if the relation is projected on
@@ -37,6 +52,17 @@ pub fn rtr(rel: &Relation, attrs: AttrSet) -> f64 {
         return 0.0;
     }
     let n_distinct = projection_distinct(rel, attrs);
+    1.0 - n_distinct as f64 / n as f64
+}
+
+/// As [`rtr`], serving the distinct count from the context's bounded
+/// memo (one projection per attribute set, shared with [`rad_ctx`]).
+pub fn rtr_ctx(ctx: &AnalysisCtx, attrs: AttrSet) -> f64 {
+    let n = ctx.relation().n_tuples();
+    if n == 0 || attrs.is_empty() {
+        return 0.0;
+    }
+    let n_distinct = ctx.projection_distinct(attrs);
     1.0 - n_distinct as f64 / n as f64
 }
 

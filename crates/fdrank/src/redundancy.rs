@@ -9,7 +9,8 @@
 //! occurrence of an `A`-value except the first per `X`-group is
 //! redundant: it can be reconstructed from the earliest witness tuple.
 
-use dbmine_fdmine::partition_of;
+use dbmine_context::AnalysisCtx;
+use dbmine_fdmine::{partition_of, partition_of_ctx};
 use dbmine_relation::{AttrId, AttrSet, Relation};
 
 /// A redundant cell: `(tuple, attribute)` whose value is implied by the
@@ -30,11 +31,26 @@ pub struct RedundantCell {
 /// cells whose value *disagrees* with the witness are skipped (they are
 /// erroneous, not redundant — the distinction Figure 1 draws).
 pub fn redundant_cells(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> Vec<RedundantCell> {
+    cells_from_partition(rel, partition_of(rel, lhs), rhs)
+}
+
+/// As [`redundant_cells`], building `π_X` from the context's memoized
+/// single-attribute partitions (ranking many dependencies over one
+/// relation touches the same attributes over and over).
+pub fn redundant_cells_ctx(ctx: &AnalysisCtx, lhs: AttrSet, rhs: AttrId) -> Vec<RedundantCell> {
+    cells_from_partition(ctx.relation(), partition_of_ctx(ctx, lhs), rhs)
+}
+
+fn cells_from_partition(
+    rel: &Relation,
+    partition: dbmine_fdmine::StrippedPartition,
+    rhs: AttrId,
+) -> Vec<RedundantCell> {
     // Two tuples share an X-group iff they share a π_X class id, so the
     // witness map indexes a dense array by class id instead of hashing
     // a projected `Vec<u32>` key per tuple (the old implementation
     // allocated one such key for every tuple).
-    let ids = partition_of(rel, lhs).class_ids();
+    let ids = partition.class_ids();
     let mut first_witness: Vec<u32> = vec![u32::MAX; rel.n_tuples()];
     let mut out = Vec::new();
     for (t, &id) in ids.iter().enumerate() {

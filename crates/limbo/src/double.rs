@@ -7,8 +7,18 @@
 //! values there: *"attribute values can be expressed over the (much
 //! smaller) set of tuple clusters instead of individual tuples."*
 
+use dbmine_context::AnalysisCtx;
 use dbmine_ib::Dcf;
 use dbmine_relation::ValueIndex;
+
+/// [`reexpress_over_clusters`] over the context's shared [`ValueIndex`]
+/// view. A double-clustering run (tuple clustering, then value
+/// clustering over the tuple clusters) historically built the
+/// `ValueIndex` once per stage; routed through one [`AnalysisCtx`] it
+/// is built exactly once per run (pinned by a regression test).
+pub fn reexpress_over_clusters_ctx(ctx: &AnalysisCtx, assignment: &[usize]) -> Vec<Dcf> {
+    reexpress_over_clusters(ctx.value_index(), assignment)
+}
 
 /// Re-expresses value ADCFs over tuple clusters.
 ///
@@ -31,10 +41,10 @@ pub fn reexpress_over_clusters(index: &ValueIndex, assignment: &[usize]) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::input::tuple_dcfs;
+    use crate::input::tuple_dcfs_ctx;
     use crate::pipeline::{run, LimboParams};
     use dbmine_relation::paper::figure4;
-    use dbmine_relation::{TupleRows, ValueIndex};
+    use dbmine_relation::ValueIndex;
 
     #[test]
     fn reexpression_preserves_mass_and_aux() {
@@ -62,13 +72,14 @@ mod tests {
         // Cluster tuples to 2 clusters, re-express values, cluster values:
         // {a,1} and {2,x} must still co-occur perfectly (distance 0).
         let rel = figure4();
-        let objects = tuple_dcfs(&rel);
-        let mi = TupleRows::build(&rel).mutual_information();
+        let ctx = AnalysisCtx::of(&rel);
+        let objects = tuple_dcfs_ctx(&ctx, 1);
+        let mi = ctx.tuple_mutual_information();
         let tuples = run(&objects, mi, 2, LimboParams::default());
         let assignment: Vec<usize> = tuples.assignments.iter().map(|&(c, _)| c).collect();
 
-        let idx = ValueIndex::build(&rel);
-        let vdcfs = reexpress_over_clusters(&idx, &assignment);
+        let vdcfs = reexpress_over_clusters_ctx(&ctx, &assignment);
+        let idx = ctx.value_index();
         let a = idx.position(rel.dict().lookup("a").unwrap()).unwrap();
         let one = idx.position(rel.dict().lookup("1").unwrap()).unwrap();
         let two = idx.position(rel.dict().lookup("2").unwrap()).unwrap();

@@ -9,6 +9,7 @@
 //! * [`attribute_dcfs`] — Section 6.3: objects are attributes, expressed
 //!   over duplicate value groups via the (normalized) matrix `F`.
 
+use dbmine_context::AnalysisCtx;
 use dbmine_ib::Dcf;
 use dbmine_infotheory::SparseDist;
 use dbmine_relation::{Relation, TupleRows, ValueIndex};
@@ -21,8 +22,22 @@ pub fn tuple_dcfs(rel: &Relation) -> Vec<Dcf> {
 /// [`tuple_dcfs`] with an explicit thread count (`1` = serial, `0` = all
 /// cores). Each tuple's DCF is built independently, so the result is
 /// bit-identical for every thread count.
+///
+/// Builds a fresh [`TupleRows`]; callers analyzing the same relation
+/// more than once should hold an [`AnalysisCtx`] and use
+/// [`tuple_dcfs_ctx`] so the view is shared.
 pub fn tuple_dcfs_with(rel: &Relation, threads: usize) -> Vec<Dcf> {
-    let rows = TupleRows::build(rel);
+    tuple_dcfs_from(&TupleRows::build(rel), threads)
+}
+
+/// [`tuple_dcfs_with`] over the context's shared [`TupleRows`] view
+/// (built at most once per context).
+pub fn tuple_dcfs_ctx(ctx: &AnalysisCtx, threads: usize) -> Vec<Dcf> {
+    tuple_dcfs_from(ctx.tuple_rows(), threads)
+}
+
+/// The common core: singleton DCFs from an already-built tuple view.
+pub fn tuple_dcfs_from(rows: &TupleRows, threads: usize) -> Vec<Dcf> {
     let p = rows.prior();
     dbmine_parallel::par_map_range(threads, rows.len(), |t| {
         Dcf::singleton(p, rows.row(t).clone())

@@ -26,8 +26,11 @@ pub mod pipeline;
 pub mod tree;
 pub mod tree_reference;
 
-pub use double::reexpress_over_clusters;
-pub use input::{attribute_dcfs, tuple_dcfs, tuple_dcfs_with, value_dcfs, value_dcfs_with};
+pub use double::{reexpress_over_clusters, reexpress_over_clusters_ctx};
+pub use input::{
+    attribute_dcfs, tuple_dcfs, tuple_dcfs_ctx, tuple_dcfs_from, tuple_dcfs_with, value_dcfs,
+    value_dcfs_with,
+};
 pub use pipeline::{
     phase1, phase1_ref, phase2, phase2_with, phase3, phase3_with, run, Limbo, LimboModel,
     LimboParams,

@@ -209,12 +209,12 @@ pub fn phase3_with<'a>(
 /// Runs all three phases over an in-memory object list.
 ///
 /// ```
-/// use dbmine_limbo::{run, tuple_dcfs, LimboParams};
-/// use dbmine_relation::TupleRows;
+/// use dbmine_context::AnalysisCtx;
+/// use dbmine_limbo::{run, tuple_dcfs_ctx, LimboParams};
 /// let rel = dbmine_relation::paper::figure4();
-/// let objects = tuple_dcfs(&rel);
-/// let mi = TupleRows::build(&rel).mutual_information();
-/// let l = run(&objects, mi, 2, LimboParams::with_phi(0.0));
+/// let ctx = AnalysisCtx::of(&rel);
+/// let objects = tuple_dcfs_ctx(&ctx, 1);
+/// let l = run(&objects, ctx.tuple_mutual_information(), 2, LimboParams::with_phi(0.0));
 /// assert_eq!(l.assignments.len(), 5);   // every tuple assigned
 /// assert_eq!(l.clustering.clusters.len(), 2);
 /// ```

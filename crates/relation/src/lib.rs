@@ -16,6 +16,8 @@
 //!   attribute `A`), Figures 2, 3 and 6.
 //! * [`stats`] — projection statistics (distinct counts, bag-semantics
 //!   entropies) underlying the RAD/RTR duplication measures.
+//! * [`partition`] — stripped partitions (`π_X`), the workhorse of TANE
+//!   and of direct FD checks, cached per attribute by `dbmine-context`.
 //! * [`csv`] — a small, dependency-free CSV reader/writer so relations can
 //!   be loaded from real exports.
 
@@ -24,10 +26,12 @@ pub mod csv;
 pub mod dict;
 pub mod matrix;
 pub mod paper;
+pub mod partition;
 pub mod relation;
 pub mod stats;
 
 pub use attrset::AttrSet;
 pub use dict::{ValueDict, ValueId, NULL_VALUE};
 pub use matrix::{TupleRows, ValueIndex};
+pub use partition::{PartitionScratch, StrippedPartition};
 pub use relation::{AttrId, Relation, RelationBuilder};

@@ -6,7 +6,7 @@
 //! count) is what makes exact FD tests O(1) once partitions exist:
 //! `X → A` holds iff `e(π_X) = e(π_{X∪A})`.
 
-use dbmine_relation::{AttrId, Relation};
+use crate::relation::{AttrId, Relation};
 
 /// A stripped partition: equivalence classes of size ≥ 2, each a sorted
 /// list of tuple indices.
@@ -61,7 +61,7 @@ impl StrippedPartition {
     /// # NULL semantics
     ///
     /// NULL cells intern to the single reserved value id
-    /// (`dbmine_relation::NULL_VALUE`), so **all NULLs of a column fall
+    /// (`crate::NULL_VALUE`), so **all NULLs of a column fall
     /// into one equivalence class** — NULL compares equal to NULL. This
     /// silently *strengthens* mined dependencies on NULL-heavy data: two
     /// tuples that are NULL in every attribute of `X` agree on `X`, so
@@ -319,8 +319,8 @@ impl StrippedPartition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbmine_relation::paper::figure4;
-    use dbmine_relation::RelationBuilder;
+    use crate::paper::figure4;
+    use crate::relation::RelationBuilder;
 
     #[test]
     fn single_attr_partitions_figure4() {
@@ -438,11 +438,7 @@ mod tests {
     fn product_matches_reference_on_paper_relations() {
         // Bit-identical output: same classes, same order, same n.
         let mut scratch = PartitionScratch::new();
-        for rel in [
-            dbmine_relation::paper::figure1(),
-            figure4(),
-            dbmine_relation::paper::figure5(),
-        ] {
+        for rel in [crate::paper::figure1(), figure4(), crate::paper::figure5()] {
             for a in 0..rel.n_attrs() {
                 for b in 0..rel.n_attrs() {
                     let pa = StrippedPartition::of_attr(&rel, a);

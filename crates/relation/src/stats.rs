@@ -42,6 +42,22 @@ pub fn projection_entropy(rel: &Relation, attrs: AttrSet) -> f64 {
     )
 }
 
+/// Distinct count *and* bag-semantics entropy of the projection from a
+/// single shared counts pass. This is the shape `dbmine-context`
+/// memoizes per `AttrSet`: RAD needs the entropy, RTR the distinct
+/// count, and computing both from one `projection_counts` map halves
+/// the projection work for every cached attribute set.
+pub fn projection_stats(rel: &Relation, attrs: AttrSet) -> (usize, f64) {
+    let n = rel.n_tuples() as f64;
+    let counts = projection_counts(rel, attrs);
+    let entropy = if n == 0.0 {
+        0.0
+    } else {
+        entropy(counts.values().map(|&c| c as f64 / n))
+    };
+    (counts.len(), entropy)
+}
+
 /// Entropy (bits) of a single column's empirical value distribution.
 pub fn column_entropy(rel: &Relation, a: AttrId) -> f64 {
     projection_entropy(rel, AttrSet::single(a))

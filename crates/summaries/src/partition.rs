@@ -5,9 +5,10 @@
 //! of change of `I(C_k;V)` and `H(C_k|V)`, pick a natural `k` from those
 //! derivatives, and Phase 3-assign every tuple.
 
+use dbmine_context::AnalysisCtx;
 use dbmine_ib::KStat;
-use dbmine_limbo::{phase1, phase2_with, phase3_with, tuple_dcfs_with, LimboParams};
-use dbmine_relation::{Relation, TupleRows};
+use dbmine_limbo::{phase1, phase2_with, phase3_with, tuple_dcfs_ctx, LimboParams};
+use dbmine_relation::Relation;
 
 /// The outcome of horizontal partitioning.
 #[derive(Clone, Debug)]
@@ -94,16 +95,32 @@ pub fn horizontal_partition(
 /// As [`horizontal_partition`], with full control over the LIMBO
 /// parameters (notably `params.threads` for the parallel Phase 2/3).
 /// Bit-identical to the serial run for every thread count.
+///
+/// Builds a transient [`AnalysisCtx`]; callers analyzing the same
+/// relation more than once should hold a context and call
+/// [`horizontal_partition_ctx`] so the tuple views are shared.
 pub fn horizontal_partition_with(
     rel: &Relation,
     params: LimboParams,
     k: Option<usize>,
     max_k: usize,
 ) -> PartitionResult {
+    horizontal_partition_ctx(&AnalysisCtx::of(rel), params, k, max_k)
+}
+
+/// As [`horizontal_partition_with`], over the context's shared
+/// [`dbmine_relation::TupleRows`] view and memoized `I(T;V)` (each built
+/// at most once per context).
+pub fn horizontal_partition_ctx(
+    ctx: &AnalysisCtx,
+    params: LimboParams,
+    k: Option<usize>,
+    max_k: usize,
+) -> PartitionResult {
     let _span = dbmine_telemetry::span("summaries.horizontal_partition");
     let threads = params.threads;
-    let objects = tuple_dcfs_with(rel, threads);
-    let mi = TupleRows::build(rel).mutual_information();
+    let objects = tuple_dcfs_ctx(ctx, threads);
+    let mi = ctx.tuple_mutual_information();
     let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
     let n_summaries = model.leaves.len();
 

@@ -11,9 +11,10 @@
 //! The tuples associated with the same summary are candidate (almost)
 //! duplicates, presented to the analyst with their association losses.
 
+use dbmine_context::AnalysisCtx;
 use dbmine_ib::{assign_all_with, Dcf};
-use dbmine_limbo::{phase1, tuple_dcfs_with, LimboParams};
-use dbmine_relation::{Relation, TupleRows};
+use dbmine_limbo::{phase1, tuple_dcfs_ctx, LimboParams};
+use dbmine_relation::Relation;
 
 /// A candidate duplicate group: the tuples Phase 3 associated with one
 /// multi-tuple summary.
@@ -90,11 +91,22 @@ pub fn find_duplicate_tuples(rel: &Relation, phi_t: f64) -> DuplicateReport {
 }
 
 /// As [`find_duplicate_tuples`], with full control over LIMBO parameters.
+///
+/// Builds a transient [`AnalysisCtx`]; callers analyzing the same
+/// relation more than once should hold a context and call
+/// [`find_duplicate_tuples_ctx`] so the tuple views are shared.
 pub fn find_duplicate_tuples_with(rel: &Relation, params: LimboParams) -> DuplicateReport {
+    find_duplicate_tuples_ctx(&AnalysisCtx::of(rel), params)
+}
+
+/// As [`find_duplicate_tuples_with`], over the context's shared
+/// [`dbmine_relation::TupleRows`] view and memoized `I(T;V)` (each built
+/// at most once per context).
+pub fn find_duplicate_tuples_ctx(ctx: &AnalysisCtx, params: LimboParams) -> DuplicateReport {
     let _span = dbmine_telemetry::span("summaries.duplicate_tuples");
-    let n = rel.n_tuples();
-    let objects = tuple_dcfs_with(rel, params.threads);
-    let mi = TupleRows::build(rel).mutual_information();
+    let n = ctx.relation().n_tuples();
+    let objects = tuple_dcfs_ctx(ctx, params.threads);
+    let mi = ctx.tuple_mutual_information();
     let model = phase1(objects.iter().cloned(), mi, n, params);
 
     // Step 3: summaries with p(c*) > 1/n, i.e. more than one tuple merged.
@@ -142,8 +154,15 @@ pub fn tuple_summary_assignment(rel: &Relation, phi_t: f64) -> (Vec<usize>, usiz
 /// parameters (notably `params.threads` for the parallel association
 /// scan). Bit-identical to the serial run for every thread count.
 pub fn tuple_summary_assignment_with(rel: &Relation, params: LimboParams) -> (Vec<usize>, usize) {
-    let objects = tuple_dcfs_with(rel, params.threads);
-    let mi = TupleRows::build(rel).mutual_information();
+    tuple_summary_assignment_ctx(&AnalysisCtx::of(rel), params)
+}
+
+/// As [`tuple_summary_assignment_with`], over the context's shared tuple
+/// views — the entry point for Double Clustering driven off one
+/// [`AnalysisCtx`].
+pub fn tuple_summary_assignment_ctx(ctx: &AnalysisCtx, params: LimboParams) -> (Vec<usize>, usize) {
+    let objects = tuple_dcfs_ctx(ctx, params.threads);
+    let mi = ctx.tuple_mutual_information();
     let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
     let leaves = &model.leaves;
     let assignment = if leaves.is_empty() {

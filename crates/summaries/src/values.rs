@@ -12,9 +12,10 @@
 //!   `O` row);
 //! * `C_VND`: everything else.
 
+use dbmine_context::AnalysisCtx;
 use dbmine_ib::{assign_all_with, Dcf};
 use dbmine_limbo::{phase1, reexpress_over_clusters, value_dcfs_with, LimboParams};
-use dbmine_relation::{Relation, ValueId, ValueIndex};
+use dbmine_relation::{Relation, ValueId};
 
 /// A cluster of attribute values.
 #[derive(Clone, Debug)]
@@ -115,20 +116,43 @@ pub fn cluster_values(
 /// As [`cluster_values`], with full control over the LIMBO parameters
 /// (notably `params.threads` for the parallel DCF construction and
 /// association scan). Bit-identical to the serial run for every count.
+///
+/// Builds a transient [`AnalysisCtx`]; callers analyzing the same
+/// relation more than once should hold a context and call
+/// [`cluster_values_ctx`] so the `ValueIndex` view is shared.
 pub fn cluster_values_with(
     rel: &Relation,
     params: LimboParams,
     tuple_assignment: Option<&[usize]>,
 ) -> ValueClustering {
+    cluster_values_ctx(&AnalysisCtx::of(rel), params, tuple_assignment)
+}
+
+/// As [`cluster_values_with`], over the context's shared
+/// [`dbmine_relation::ValueIndex`] view and memoized `I(V;T)` (each
+/// built at most once per context).
+pub fn cluster_values_ctx(
+    ctx: &AnalysisCtx,
+    params: LimboParams,
+    tuple_assignment: Option<&[usize]>,
+) -> ValueClustering {
     let _span = dbmine_telemetry::span("summaries.cluster_values");
-    let index = ValueIndex::build(rel);
+    let index = ctx.value_index();
     let objects: Vec<Dcf> = match tuple_assignment {
-        Some(assign) => reexpress_over_clusters(&index, assign),
-        None => value_dcfs_with(&index, params.threads),
+        Some(assign) => reexpress_over_clusters(index, assign),
+        None => value_dcfs_with(index, params.threads),
     };
-    let mi = {
-        let rows: Vec<_> = objects.iter().map(|d| (d.weight, &d.cond)).collect();
-        dbmine_infotheory::mutual_information(rows.iter().copied())
+    // On the raw-tuple path the objects are exactly the `N` rows, so the
+    // input information is the context's memoized I(V;T) (bit-identical:
+    // singleton DCFs store their conditional verbatim). Re-expressed
+    // objects (Double Clustering) carry a different distribution, so
+    // their information is computed from the objects themselves.
+    let mi = match tuple_assignment {
+        Some(_) => {
+            let rows: Vec<_> = objects.iter().map(|d| (d.weight, &d.cond)).collect();
+            dbmine_infotheory::mutual_information(rows.iter().copied())
+        }
+        None => ctx.value_mutual_information(),
     };
     let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
 

@@ -43,10 +43,16 @@ pub enum Counter {
     /// Redundant cells counted by FD-RANK (`fdrank::redundant_cells`),
     /// summed over ranked FDs.
     FdrankRedundantCells,
+    /// Shared views materialized by an `AnalysisCtx` (`dbmine-context`):
+    /// every `TupleRows`/`ValueIndex`/mutual-information/partition/
+    /// column-profile/projection-memo construction counts once.
+    ViewBuilds,
+    /// `AnalysisCtx` accesses served from an already-built view.
+    ViewCacheHits,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 12;
+pub const N_COUNTERS: usize = 14;
 
 /// All counters, in index order. `COUNTERS[c as usize] == c` for every
 /// counter `c`.
@@ -63,6 +69,8 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::TanePruneCacheHits,
     Counter::TanePruneCacheMisses,
     Counter::FdrankRedundantCells,
+    Counter::ViewBuilds,
+    Counter::ViewCacheHits,
 ];
 
 impl Counter {
@@ -81,6 +89,8 @@ impl Counter {
             Counter::TanePruneCacheHits => "tane_prune_cache_hits",
             Counter::TanePruneCacheMisses => "tane_prune_cache_misses",
             Counter::FdrankRedundantCells => "fdrank_redundant_cells",
+            Counter::ViewBuilds => "view_builds",
+            Counter::ViewCacheHits => "view_cache_hits",
         }
     }
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gate on telemetry-counter drift between fresh bench runs and a
+committed reference.
+
+The bench runners embed a telemetry RunReport in their BENCH_*.json
+output; the counter totals in that report are deterministic for the
+quick/smoke workloads (fixed seeds, fixed sizes), so any change is a
+real behavioural change in the kernels — an extra partition product, a
+lost cache hit, a view rebuilt — and should be either fixed or
+explicitly re-baselined.
+
+Usage:
+    bench_drift.py [--update] REFERENCE NAME=FRESH.json [NAME=FRESH.json ...]
+
+Compares ``telemetry.counters`` of each fresh file against
+``REFERENCE[NAME]`` and exits non-zero on any mismatch. ``--update``
+rewrites the reference from the fresh files instead. Fresh files from a
+build without the `telemetry` feature (``telemetry_compiled: false``)
+are skipped with a warning — counters are all zero there and would only
+mask drift.
+"""
+
+import json
+import sys
+
+
+def load_counters(path):
+    with open(path) as f:
+        bench = json.load(f)
+    telemetry = bench.get("telemetry", {})
+    if not telemetry.get("telemetry_compiled", False):
+        return None
+    return telemetry.get("counters", {})
+
+
+def main(argv):
+    args = [a for a in argv if a != "--update"]
+    update = len(args) != len(argv)
+    if len(args) < 2 or any("=" not in a for a in args[1:]):
+        print(__doc__, file=sys.stderr)
+        return 2
+    ref_path = args[0]
+    fresh = {}
+    for spec in args[1:]:
+        name, _, path = spec.partition("=")
+        counters = load_counters(path)
+        if counters is None:
+            print(f"WARNING: {path}: telemetry not compiled in — skipping '{name}'")
+            continue
+        fresh[name] = counters
+
+    if update:
+        with open(ref_path, "w") as f:
+            json.dump(fresh, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {ref_path} ({', '.join(sorted(fresh)) or 'nothing'})")
+        return 0
+
+    with open(ref_path) as f:
+        reference = json.load(f)
+
+    failures = []
+    for name, counters in sorted(fresh.items()):
+        if name not in reference:
+            failures.append(f"{name}: not in reference {ref_path} (run with --update?)")
+            continue
+        expected = reference[name]
+        for key in sorted(set(expected) | set(counters)):
+            want, got = expected.get(key), counters.get(key)
+            if want != got:
+                failures.append(f"{name}: counter '{key}' drifted: reference {want}, fresh {got}")
+    if failures:
+        print(f"counter drift against {ref_path}:")
+        for f_ in failures:
+            print(f"  {f_}")
+        print("If the change is intended, re-baseline with --update and commit.")
+        return 1
+    checked = sum(len(reference.get(n, {})) for n in fresh)
+    print(f"bench counters match the reference ({len(fresh)} benches, {checked} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

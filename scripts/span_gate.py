@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Gate on the telemetry span tree of a profiled CLI run.
+
+Reduces a ``--profile`` RunReport to its structural skeleton — span
+names, call counts and nesting — and compares it against a committed
+reference. The smoke input (results/db2_sample.csv) is deterministic,
+so a phase that disappears from the profile, or a call count that
+drifts, means the pipeline's shape changed and the reference must be
+consciously re-baselined.
+
+Usage:
+    span_gate.py [--update] REFERENCE PROFILE.json
+
+Exits non-zero when a reference span is missing or its call count
+differs; spans present only in the fresh profile are reported as
+warnings (new instrumentation is fine until baselined). ``--update``
+rewrites the reference skeleton from PROFILE.json. Profiles from a
+build without the `telemetry` feature are skipped with a warning.
+"""
+
+import json
+import sys
+
+
+def skeleton(spans):
+    return [
+        {
+            "name": s["name"],
+            "calls": s["calls"],
+            "children": skeleton(s.get("children", [])),
+        }
+        for s in spans
+    ]
+
+
+def compare(reference, fresh, path, failures, warnings):
+    fresh_by_name = {}
+    for s in fresh:
+        fresh_by_name.setdefault(s["name"], []).append(s)
+    for r in reference:
+        here = f"{path}/{r['name']}"
+        candidates = fresh_by_name.get(r["name"], [])
+        if not candidates:
+            failures.append(f"span {here} disappeared from the profile")
+            continue
+        s = candidates.pop(0)
+        if s["calls"] != r["calls"]:
+            failures.append(
+                f"span {here}: call count drifted: reference {r['calls']}, fresh {s['calls']}"
+            )
+        compare(r["children"], s["children"], here, failures, warnings)
+    known = {r["name"] for r in reference}
+    for s in fresh:
+        if s["name"] not in known:
+            warnings.append(f"new span {path}/{s['name']} (x{s['calls']}) not in reference")
+
+
+def main(argv):
+    args = [a for a in argv if a != "--update"]
+    update = len(args) != len(argv)
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ref_path, profile_path = args
+
+    with open(profile_path) as f:
+        report = json.load(f)
+    if not report.get("telemetry_compiled", False):
+        print(f"WARNING: {profile_path}: telemetry not compiled in — skipping span gate")
+        return 0
+    fresh = skeleton(report.get("spans", []))
+
+    if update:
+        with open(ref_path, "w") as f:
+            json.dump(fresh, f, indent=2)
+            f.write("\n")
+        print(f"wrote {ref_path}")
+        return 0
+
+    with open(ref_path) as f:
+        reference = json.load(f)
+
+    failures, warnings = [], []
+    compare(reference, fresh, "", failures, warnings)
+    for w in warnings:
+        print(f"WARNING: {w}")
+    if failures:
+        print(f"span tree drift against {ref_path}:")
+        for f_ in failures:
+            print(f"  {f_}")
+        print("If the change is intended, re-baseline with --update and commit.")
+        return 1
+
+    def count(nodes):
+        return sum(1 + count(n["children"]) for n in nodes)
+
+    print(f"span tree matches the reference ({count(reference)} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,11 +7,14 @@
 //! `telemetry` feature compiled out every delta is 0 and the tests
 //! assert exactly that, so the suite is meaningful in both CI legs.
 
+use dbmine::context::AnalysisCtx;
 use dbmine::fdmine::{mine_tane, TaneOptions};
 use dbmine::ib::{aib, Dcf};
 use dbmine::infotheory::SparseDist;
+use dbmine::limbo::LimboParams;
 use dbmine::relation::paper::figure4;
 use dbmine::relation::{AttrSet, RelationBuilder};
+use dbmine::summaries::{cluster_values_ctx, tuple_summary_assignment_ctx};
 use dbmine::telemetry::{self, Counter, CounterSnapshot};
 use std::sync::Mutex;
 
@@ -96,6 +99,75 @@ fn fdrank_counts_figure4_redundant_cells() {
     let (cells, d) = with_deltas(|| dbmine::fdrank::redundant_cells(&rel, AttrSet::single(2), 1));
     assert_eq!(cells.len(), 2);
     assert_eq!(d.get(Counter::FdrankRedundantCells), expect(2));
+}
+
+#[test]
+fn double_clustering_builds_the_value_index_exactly_once() {
+    // Regression: the Double Clustering path used to rebuild the
+    // ValueIndex once per stage. Through one context the whole run
+    // materializes exactly three views — TupleRows and I(T;V) for the
+    // tuple pass, the ValueIndex for the value pass; re-expressing
+    // values over the tuple clusters reuses the cached index.
+    let rel = figure4();
+    let ctx = AnalysisCtx::of(&rel);
+    let (_, d) = with_deltas(|| {
+        let (assignment, _) = tuple_summary_assignment_ctx(&ctx, LimboParams::with_phi(0.5));
+        cluster_values_ctx(&ctx, LimboParams::with_phi(0.5), Some(&assignment))
+    });
+    assert_eq!(ctx.view_stats().builds, 3, "{:?}", ctx.view_stats());
+    assert_eq!(d.get(Counter::ViewBuilds), expect(3));
+
+    // A second full pass over the same context builds nothing new.
+    let before = ctx.view_stats();
+    let (assignment, _) = tuple_summary_assignment_ctx(&ctx, LimboParams::with_phi(0.5));
+    let _ = cluster_values_ctx(&ctx, LimboParams::with_phi(0.5), Some(&assignment));
+    let after = ctx.view_stats();
+    assert_eq!(after.builds, before.builds);
+    assert!(after.hits > before.hits);
+}
+
+#[test]
+fn analyze_builds_each_shared_view_exactly_once() {
+    use dbmine::{FdMiner, MinerConfig, StructureMiner};
+    let rel = figure4();
+    let ctx = AnalysisCtx::of(&rel);
+    let miner = StructureMiner::new(MinerConfig {
+        fd_miner: FdMiner::Tane,
+        ..Default::default()
+    });
+    let (report, d) = with_deltas(|| miner.analyze_ctx(&ctx));
+
+    // Exact ledger of one analyze run over a fresh context:
+    //   1     column-profile vector
+    //   m     single-attribute projection-memo entries (profiling)
+    //   2     TupleRows + I(T;V)          (duplicate-tuple discovery)
+    //   2     ValueIndex + I(V;T)         (value clustering)
+    //   m     single-attribute partitions (TANE seed)
+    //   k     distinct multi-attribute projections (RAD/RTR of the
+    //         ranked cover; single-attribute sets hit the memo, and
+    //         RTR always hits the set RAD just created)
+    let m = rel.n_attrs() as u64;
+    let multi_sets: std::collections::HashSet<u64> = report
+        .ranked
+        .iter()
+        .map(|r| r.fd.attrs())
+        .filter(|s| s.len() >= 2)
+        .map(|s| s.bits())
+        .collect();
+    let expected = 1 + m + 2 + 2 + m + multi_sets.len() as u64;
+    let s = ctx.view_stats();
+    assert_eq!(s.builds, expected, "{s:?}");
+    assert!(s.hits > 0, "{s:?}");
+    assert_eq!(d.get(Counter::ViewBuilds), expect(expected));
+    if telemetry::compiled() {
+        assert!(d.get(Counter::ViewCacheHits) > 0);
+    }
+
+    // Re-analyzing over the same context materializes nothing and
+    // reproduces the report bit-for-bit.
+    let again = miner.analyze_ctx(&ctx);
+    assert_eq!(ctx.view_stats().builds, expected);
+    assert_eq!(report.render(&rel), again.render(&rel));
 }
 
 #[test]
