@@ -1,0 +1,51 @@
+//! Exact view-build ledgers for the `AnalysisCtx`-threaded baselines:
+//! each shared view is materialized at most once per context, and warm
+//! calls build nothing.
+
+use dbmine_baselines::{join_candidates_ctx, mine_frequent_itemsets_ctx, pairwise_duplicates_ctx};
+use dbmine_context::AnalysisCtx;
+use dbmine_relation::paper::figure4;
+
+#[test]
+fn cold_ctx_builds_each_view_exactly_once() {
+    let rel = figure4();
+    let m = rel.n_attrs() as u64;
+    let ctx = AnalysisCtx::of(&rel);
+    assert_eq!(ctx.view_stats().builds, 0, "fresh context must be empty");
+
+    // Apriori touches exactly one view: the ValueIndex.
+    mine_frequent_itemsets_ctx(&ctx, 2, 1);
+    assert_eq!(ctx.view_stats().builds, 1);
+
+    // Pairwise adds the m single-attribute partitions.
+    pairwise_duplicates_ctx(&ctx, 1);
+    assert_eq!(ctx.view_stats().builds, 1 + m);
+
+    // Joins reuse the ValueIndex built by apriori: zero new builds.
+    join_candidates_ctx(&ctx, &ctx, 0.0, 0.0);
+    assert_eq!(ctx.view_stats().builds, 1 + m);
+    assert!(
+        ctx.view_stats().hits >= 2,
+        "warm accesses must register as hits"
+    );
+}
+
+#[test]
+fn warm_ctx_builds_nothing() {
+    let rel = figure4();
+    let ctx = AnalysisCtx::of(&rel);
+    ctx.value_index();
+    for a in 0..rel.n_attrs() {
+        ctx.attr_partition(a);
+    }
+    let builds = ctx.view_stats().builds;
+    let hits = ctx.view_stats().hits;
+
+    mine_frequent_itemsets_ctx(&ctx, 2, 1);
+    pairwise_duplicates_ctx(&ctx, 1);
+    join_candidates_ctx(&ctx, &ctx, 0.0, 0.0);
+
+    let after = ctx.view_stats();
+    assert_eq!(after.builds, builds, "warm baseline calls rebuilt a view");
+    assert!(after.hits > hits);
+}

@@ -51,6 +51,10 @@ use fxhash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+mod lru;
+
+pub use lru::{CtxCache, CtxCacheStats};
+
 /// Memoized projection statistics for one attribute set: the RTR
 /// distinct count and the RAD bag-semantics entropy, computed from a
 /// single `projection_counts` pass.
@@ -255,6 +259,38 @@ impl AnalysisCtx {
         s
     }
 
+    /// A context over `π_attrs(rel)` (distinct rows) whose
+    /// single-attribute partitions are **derived** from this context's
+    /// instead of rebuilt: a projection's π_A is exactly the parent's
+    /// π_A restricted to the first-occurrence rows and renumbered
+    /// (`StrippedPartition::restrict_remap`). This is the redesign
+    /// loop's cross-relation cache: each decomposition step inherits its
+    /// partitions from the step before.
+    ///
+    /// Accounting: accessing each parent π_A counts on *this* context
+    /// (hit if cached, build if not); the child's seeded partitions
+    /// count as neither build nor hit on the child — a later
+    /// `attr_partition` access on the child is a cache *hit*, which is
+    /// how tests prove nothing was rebuilt. Bit-identity with the
+    /// rebuild path is pinned by `derived_partitions_match_fresh_build`
+    /// and a property test.
+    pub fn derive_projected(&self, attrs: AttrSet, name: &str) -> AnalysisCtx {
+        let (child_rel, rows) = self.rel.project_distinct_with_rows(attrs, name);
+        let mut map = vec![u32::MAX; self.rel.n_tuples()];
+        for (ci, &pt) in rows.iter().enumerate() {
+            map[pt as usize] = ci as u32;
+        }
+        let child_n = child_rel.n_tuples();
+        let child = AnalysisCtx::from(child_rel);
+        for (ci, a) in attrs.iter().enumerate() {
+            let derived = self.attr_partition(a).restrict_remap(&map, child_n);
+            child.attr_parts[ci]
+                .set(derived)
+                .expect("fresh context has empty partition cells");
+        }
+        child
+    }
+
     /// Memoized `H(π_attrs(T))` (bag semantics), the RAD ingredient.
     pub fn projection_entropy(&self, attrs: AttrSet) -> f64 {
         self.projection_stats(attrs).entropy
@@ -356,6 +392,42 @@ mod tests {
         assert_eq!(ctx.projection_distinct(rel.all_attrs()), 0);
         assert_eq!(ctx.projection_entropy(rel.all_attrs()), 0.0);
         assert!(ctx.attr_partition(0).classes.is_empty());
+    }
+
+    #[test]
+    fn derived_partitions_match_fresh_build() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        // Project away B (the redesign step for C → B).
+        let attrs: AttrSet = [0usize, 2].into_iter().collect();
+        let child = ctx.derive_projected(attrs, "fig4_S2");
+        let fresh = rel.project_distinct(attrs, "fig4_S2");
+        assert_eq!(child.relation().content_hash(), fresh.content_hash());
+        for (ci, a) in attrs.iter().enumerate() {
+            assert_eq!(
+                child.attr_partition(ci),
+                &StrippedPartition::of_attr(&fresh, ci),
+                "derived π for parent attr {a} diverged from rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn derive_projected_seeds_partitions_as_cache_hits() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        let attrs: AttrSet = [1usize, 2].into_iter().collect();
+        let child = ctx.derive_projected(attrs, "bc");
+        // The parent built π_B and π_C on demand …
+        assert_eq!(ctx.view_stats().builds, 2);
+        // … and the child starts with zero builds: its partitions were
+        // seeded, so first accesses are hits, proving nothing rebuilt.
+        assert_eq!(child.view_stats(), ViewStats::default());
+        child.attr_partition(0);
+        child.attr_partition(1);
+        let s = child.view_stats();
+        assert_eq!(s.builds, 0, "{s:?}");
+        assert_eq!(s.hits, 2, "{s:?}");
     }
 
     #[test]

@@ -7,16 +7,15 @@
 //! dbmine partition  <file.csv> [--k N] [--phi-t F]
 //! dbmine redesign   <file.csv> [--steps N]
 //! ```
+//!
+//! Every command body lives in [`dbmine::render`], shared with the
+//! `dbmined` daemon — the two front ends print byte-identical output.
 
-use dbmine::context::AnalysisCtx;
-use dbmine::fdmine::{mine_approximate_ctx, minimum_cover};
-use dbmine::fdrank::decompose;
-use dbmine::limbo::LimboParams;
 use dbmine::relation::csv::read_relation_path;
 use dbmine::relation::Relation;
-use dbmine::summaries::{find_duplicate_tuples_ctx, horizontal_partition_ctx};
+use dbmine::render;
 use dbmine::telemetry;
-use dbmine::{FdMiner, MinerConfig, StructureMiner};
+use dbmine::{context::AnalysisCtx, MinerConfig};
 use std::process::exit;
 
 // Counting allocator for `--profile` runs: feature-independent, but only
@@ -73,7 +72,10 @@ fn parse_args() -> Args {
     let mut flags = std::collections::HashMap::new();
     while let Some(flag) = it.next() {
         let key = flag.trim_start_matches("--").to_string();
-        let value = it.next().unwrap_or_else(|| usage());
+        let value = it.next().unwrap_or_else(|| {
+            eprintln!("error: flag --{key} requires a value");
+            exit(2);
+        });
         flags.insert(key, value);
     }
     Args {
@@ -83,17 +85,23 @@ fn parse_args() -> Args {
     }
 }
 
+/// A flag value that failed to parse is a typed, named error on stderr —
+/// never a bare usage dump, and never a panic.
+fn bad_flag(name: &str, value: &str) -> ! {
+    eprintln!("error: invalid value for --{name}: `{value}`");
+    exit(2);
+}
+
 impl Args {
-    fn f64_flag(&self, name: &str, default: f64) -> f64 {
+    fn f64_flag(&self, name: &str) -> Option<f64> {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| usage()))
-            .unwrap_or(default)
+            .map(|v| v.parse().unwrap_or_else(|_| bad_flag(name, v)))
     }
     fn usize_flag(&self, name: &str) -> Option<usize> {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .map(|v| v.parse().unwrap_or_else(|_| bad_flag(name, v)))
     }
     fn threads(&self) -> usize {
         self.usize_flag("threads").unwrap_or(1)
@@ -119,180 +127,6 @@ fn load(path: &str) -> Relation {
     }
 }
 
-fn cmd_analyze(args: &Args) {
-    let ctx = AnalysisCtx::from(load(&args.path));
-    let config = MinerConfig {
-        phi_tuples: args.f64_flag("phi-t", 0.1),
-        phi_values: args.f64_flag("phi-v", 0.0),
-        psi: args.f64_flag("psi", 0.5),
-        fd_miner: FdMiner::Auto,
-        max_lhs: args.usize_flag("max-lhs"),
-        threads: args.threads(),
-    };
-    let report = StructureMiner::new(config).analyze_ctx(&ctx);
-    print!("{}", report.render(ctx.relation()));
-}
-
-fn cmd_duplicates(args: &Args) {
-    let ctx = AnalysisCtx::from(load(&args.path));
-    let rel = ctx.relation();
-    let phi = args.f64_flag("phi-t", 0.1);
-    let report =
-        find_duplicate_tuples_ctx(&ctx, LimboParams::with_phi(phi).threads(args.threads()));
-    println!(
-        "φT = {phi}: {} candidate groups (threshold τ = {:.3e})",
-        report.groups.len(),
-        report.threshold
-    );
-    for (i, g) in report.groups.iter().enumerate() {
-        println!("\ngroup {} ({} tuples):", i + 1, g.tuples.len());
-        for (&t, &loss) in g.tuples.iter().zip(&g.losses).take(8) {
-            let preview: Vec<&str> = (0..rel.n_attrs().min(6))
-                .map(|a| rel.value_str(t, a))
-                .collect();
-            println!("  t{t:<6} loss={loss:.4}  {}", preview.join(" | "));
-        }
-    }
-}
-
-fn cmd_fds(args: &Args) {
-    let ctx = AnalysisCtx::from(load(&args.path));
-    let names = ctx.relation().attr_names().to_vec();
-    let max_lhs = args.usize_flag("max-lhs");
-    match args.flags.get("approx") {
-        Some(eps) => {
-            let eps: f64 = eps.parse().unwrap_or_else(|_| usage());
-            let approx = mine_approximate_ctx(&ctx, eps, max_lhs, args.threads());
-            println!("approximate dependencies (g3 ≤ {eps}): {}", approx.len());
-            let mut sorted = approx;
-            sorted.sort_by(|a, b| a.error.total_cmp(&b.error));
-            for f in sorted.iter().take(30) {
-                println!("  {:<44} g3 = {:.4}", f.fd.display(&names), f.error);
-            }
-        }
-        None => {
-            let fds = dbmine::fdmine::mine_tane_ctx(
-                &ctx,
-                dbmine::fdmine::TaneOptions {
-                    max_lhs,
-                    threads: args.threads(),
-                },
-            );
-            let cover = minimum_cover(&fds);
-            println!(
-                "exact minimal dependencies: {} (cover: {})",
-                fds.len(),
-                cover.len()
-            );
-            for f in cover.iter().take(30) {
-                println!("  {}", f.display(&names));
-            }
-        }
-    }
-}
-
-fn cmd_partition(args: &Args) {
-    let ctx = AnalysisCtx::from(load(&args.path));
-    let rel = ctx.relation();
-    let phi = args.f64_flag("phi-t", 0.5);
-    let k = args.usize_flag("k");
-    let part = horizontal_partition_ctx(
-        &ctx,
-        LimboParams::with_phi(phi).threads(args.threads()),
-        k,
-        8,
-    );
-    println!(
-        "k = {} ({} Phase 1 summaries); information retained by clusters: {:.1}%",
-        part.k,
-        part.n_summaries,
-        100.0 * (1.0 - part.relative_loss)
-    );
-    for (i, tuples) in part.partitions.iter().enumerate() {
-        println!("\npartition {} — {} tuples; sample:", i + 1, tuples.len());
-        for &t in tuples.iter().take(3) {
-            let preview: Vec<&str> = (0..rel.n_attrs().min(6))
-                .map(|a| rel.value_str(t, a))
-                .collect();
-            println!("  {}", preview.join(" | "));
-        }
-    }
-}
-
-fn cmd_redesign(args: &Args) {
-    let rel = load(&args.path);
-    let steps = args.usize_flag("steps").unwrap_or(3);
-    let mut current = rel;
-    for step in 1..=steps {
-        // One context per step: the relation changes after each split,
-        // and a context is never invalidated — see the module docs.
-        let ctx = AnalysisCtx::from(current);
-        let report = StructureMiner::default().analyze_ctx(&ctx);
-        let Some(top) = report.ranked.iter().find(|r| r.fd.promoted) else {
-            println!("step {step}: no promoted dependency — stopping");
-            break;
-        };
-        let names = ctx.relation().attr_names().to_vec();
-        let d = decompose(ctx.relation(), &top.fd);
-        println!(
-            "step {step}: split by {} → {} ({} × {}) + remainder ({} × {}), {:.1}% fewer cells",
-            top.display(&names),
-            d.s1.name(),
-            d.s1.n_tuples(),
-            d.s1.n_attrs(),
-            d.s2.n_tuples(),
-            d.s2.n_attrs(),
-            100.0 * d.storage_reduction()
-        );
-        current = d.s2;
-        if current.n_attrs() <= 2 {
-            break;
-        }
-    }
-}
-
-fn cmd_mvds(args: &Args) {
-    let rel = load(&args.path);
-    let max_lhs = args.usize_flag("max-lhs").unwrap_or(2);
-    let names = rel.attr_names().to_vec();
-    let mvds = dbmine::fdmine::mine_mvds(&rel, max_lhs, true);
-    println!(
-        "multivalued dependencies (|X| ≤ {max_lhs}, FD-implied excluded): {}",
-        mvds.len()
-    );
-    for m in mvds.iter().take(30) {
-        println!("  {}", m.display(&names));
-    }
-}
-
-fn cmd_joins(args: &Args) {
-    let left = load(&args.path);
-    let right_path = args
-        .flags
-        .get("with")
-        .map(String::as_str)
-        .unwrap_or_else(|| {
-            eprintln!("error: `joins` needs --with <other.csv>");
-            exit(2);
-        });
-    let right = load(right_path);
-    let cands = dbmine::baselines::join_candidates(&left, &right, 0.3, 0.9);
-    println!("join candidates ({}→{}):", left.name(), right.name());
-    for c in cands.iter().take(20) {
-        println!(
-            "  {}.{} ~ {}.{}  jaccard {:.2}  containment {:.2}/{:.2}  ({} shared)",
-            left.name(),
-            left.attr_names()[c.left_attr],
-            right.name(),
-            right.attr_names()[c.right_attr],
-            c.jaccard,
-            c.left_containment,
-            c.right_containment,
-            c.shared
-        );
-    }
-}
-
 fn main() {
     #[cfg(feature = "telemetry")]
     telemetry::alloc::mark_installed();
@@ -308,13 +142,69 @@ fn main() {
         telemetry::begin();
     }
     match args.command.as_str() {
-        "analyze" => cmd_analyze(&args),
-        "duplicates" => cmd_duplicates(&args),
-        "fds" => cmd_fds(&args),
-        "mvds" => cmd_mvds(&args),
-        "joins" => cmd_joins(&args),
-        "partition" => cmd_partition(&args),
-        "redesign" => cmd_redesign(&args),
+        "analyze" => {
+            let ctx = AnalysisCtx::from(load(&args.path));
+            let config = render::analyze_config(
+                args.f64_flag("phi-t"),
+                args.f64_flag("phi-v"),
+                args.f64_flag("psi"),
+                args.usize_flag("max-lhs"),
+                args.threads(),
+            );
+            print!("{}", render::run_analyze(&ctx, &config));
+        }
+        "duplicates" => {
+            let ctx = AnalysisCtx::from(load(&args.path));
+            let phi = args.f64_flag("phi-t").unwrap_or(0.1);
+            print!("{}", render::run_duplicates(&ctx, phi, args.threads()));
+        }
+        "fds" => {
+            let ctx = AnalysisCtx::from(load(&args.path));
+            print!(
+                "{}",
+                render::run_fds(
+                    &ctx,
+                    args.f64_flag("approx"),
+                    args.usize_flag("max-lhs"),
+                    args.threads(),
+                )
+            );
+        }
+        "mvds" => {
+            let rel = load(&args.path);
+            let max_lhs = args.usize_flag("max-lhs").unwrap_or(2);
+            print!("{}", render::run_mvds(&rel, max_lhs));
+        }
+        "joins" => {
+            let left = load(&args.path);
+            let right_path = args
+                .flags
+                .get("with")
+                .map(String::as_str)
+                .unwrap_or_else(|| {
+                    eprintln!("error: `joins` needs --with <other.csv>");
+                    exit(2);
+                });
+            let right = load(right_path);
+            print!("{}", render::run_joins(&left, &right));
+        }
+        "partition" => {
+            let ctx = AnalysisCtx::from(load(&args.path));
+            let phi = args.f64_flag("phi-t").unwrap_or(0.5);
+            print!(
+                "{}",
+                render::run_partition(&ctx, phi, args.usize_flag("k"), args.threads())
+            );
+        }
+        "redesign" => {
+            let ctx = AnalysisCtx::from(load(&args.path));
+            let steps = args.usize_flag("steps").unwrap_or(3);
+            let config = MinerConfig {
+                threads: args.threads(),
+                ..MinerConfig::default()
+            };
+            print!("{}", render::run_redesign(&ctx, steps, &config));
+        }
         _ => usage(),
     }
     if let Some(dest) = profile {

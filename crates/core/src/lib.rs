@@ -59,5 +59,7 @@ pub use dbmine_summaries as summaries;
 pub use dbmine_telemetry as telemetry;
 
 mod miner;
+pub mod render;
+pub mod server;
 
 pub use miner::{FdMiner, MinerConfig, RankedDependency, StructureMiner, StructureReport};

@@ -1,7 +1,7 @@
 //! The high-level structure-mining pipeline.
 
 use dbmine_context::AnalysisCtx;
-use dbmine_fdmine::{mine_fdep, mine_tane_ctx, minimum_cover, Fd, TaneOptions};
+use dbmine_fdmine::{mine_fdep_ctx, mine_tane_ctx, minimum_cover, Fd, TaneOptions};
 use dbmine_fdrank::{rad_ctx, rank_fds, rtr_ctx, RankedFd};
 use dbmine_limbo::LimboParams;
 use dbmine_relation::stats::ColumnProfile;
@@ -253,7 +253,7 @@ impl StructureMiner {
         let fds = {
             let _s = dbmine_telemetry::span!("miner.mine_fds");
             match self.effective_miner(rel) {
-                FdMiner::Fdep => mine_fdep(rel),
+                FdMiner::Fdep => mine_fdep_ctx(ctx),
                 _ => mine_tane_ctx(
                     ctx,
                     TaneOptions {

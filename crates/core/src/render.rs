@@ -1,0 +1,300 @@
+//! The command implementations shared by the `dbmine` CLI and the
+//! `dbmined` serving daemon.
+//!
+//! Each `run_*` function executes one command against an [`AnalysisCtx`]
+//! and returns the exact text the CLI prints to stdout — the daemon
+//! embeds the same string in its JSON responses, so "daemon output is
+//! bit-identical to the single-shot CLI" is a structural property, not a
+//! test-only coincidence.
+
+use crate::{FdMiner, MinerConfig, StructureMiner};
+use dbmine_context::AnalysisCtx;
+use dbmine_fdmine::{mine_approximate_ctx, minimum_cover, TaneOptions};
+use dbmine_limbo::LimboParams;
+use dbmine_relation::Relation;
+use dbmine_summaries::{find_duplicate_tuples_ctx, horizontal_partition_ctx};
+use std::fmt::Write;
+
+/// `analyze`: the full structure-mining pipeline, rendered.
+pub fn run_analyze(ctx: &AnalysisCtx, config: &MinerConfig) -> String {
+    let report = StructureMiner::new(*config).analyze_ctx(ctx);
+    report.render(ctx.relation())
+}
+
+/// `duplicates`: LIMBO tuple clustering at accuracy `φ_T = phi`.
+pub fn run_duplicates(ctx: &AnalysisCtx, phi: f64, threads: usize) -> String {
+    let rel = ctx.relation();
+    let report = find_duplicate_tuples_ctx(ctx, LimboParams::with_phi(phi).threads(threads));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "φT = {phi}: {} candidate groups (threshold τ = {:.3e})",
+        report.groups.len(),
+        report.threshold
+    )
+    .unwrap();
+    for (i, g) in report.groups.iter().enumerate() {
+        writeln!(out, "\ngroup {} ({} tuples):", i + 1, g.tuples.len()).unwrap();
+        for (&t, &loss) in g.tuples.iter().zip(&g.losses).take(8) {
+            let preview: Vec<&str> = (0..rel.n_attrs().min(6))
+                .map(|a| rel.value_str(t, a))
+                .collect();
+            writeln!(out, "  t{t:<6} loss={loss:.4}  {}", preview.join(" | ")).unwrap();
+        }
+    }
+    out
+}
+
+/// `fds`: exact TANE mining (or approximate at `g3 ≤ approx`).
+pub fn run_fds(
+    ctx: &AnalysisCtx,
+    approx: Option<f64>,
+    max_lhs: Option<usize>,
+    threads: usize,
+) -> String {
+    let names = ctx.relation().attr_names().to_vec();
+    let mut out = String::new();
+    match approx {
+        Some(eps) => {
+            let approx = mine_approximate_ctx(ctx, eps, max_lhs, threads);
+            writeln!(
+                out,
+                "approximate dependencies (g3 ≤ {eps}): {}",
+                approx.len()
+            )
+            .unwrap();
+            let mut sorted = approx;
+            sorted.sort_by(|a, b| a.error.total_cmp(&b.error));
+            for f in sorted.iter().take(30) {
+                writeln!(out, "  {:<44} g3 = {:.4}", f.fd.display(&names), f.error).unwrap();
+            }
+        }
+        None => {
+            let fds = dbmine_fdmine::mine_tane_ctx(ctx, TaneOptions { max_lhs, threads });
+            let cover = minimum_cover(&fds);
+            writeln!(
+                out,
+                "exact minimal dependencies: {} (cover: {})",
+                fds.len(),
+                cover.len()
+            )
+            .unwrap();
+            for f in cover.iter().take(30) {
+                writeln!(out, "  {}", f.display(&names)).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// `partition`: horizontal partitioning via LIMBO at `φ_T = phi`,
+/// optionally forcing `k` clusters.
+pub fn run_partition(ctx: &AnalysisCtx, phi: f64, k: Option<usize>, threads: usize) -> String {
+    let rel = ctx.relation();
+    let part = horizontal_partition_ctx(ctx, LimboParams::with_phi(phi).threads(threads), k, 8);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "k = {} ({} Phase 1 summaries); information retained by clusters: {:.1}%",
+        part.k,
+        part.n_summaries,
+        100.0 * (1.0 - part.relative_loss)
+    )
+    .unwrap();
+    for (i, tuples) in part.partitions.iter().enumerate() {
+        writeln!(
+            out,
+            "\npartition {} — {} tuples; sample:",
+            i + 1,
+            tuples.len()
+        )
+        .unwrap();
+        for &t in tuples.iter().take(3) {
+            let preview: Vec<&str> = (0..rel.n_attrs().min(6))
+                .map(|a| rel.value_str(t, a))
+                .collect();
+            writeln!(out, "  {}", preview.join(" | ")).unwrap();
+        }
+    }
+    out
+}
+
+/// `redesign`: iterated vertical decomposition by the top promoted
+/// dependency.
+///
+/// Each step's remainder context is *derived* from its parent with
+/// [`AnalysisCtx::derive_projected`] — the child's single-attribute
+/// partitions are restrictions of the parent's cached ones, so no step
+/// after the first rebuilds them from cells (bit-identity of derived
+/// partitions is pinned by property tests in `dbmine-context`).
+pub fn run_redesign(ctx: &AnalysisCtx, steps: usize, config: &MinerConfig) -> String {
+    let miner = StructureMiner::new(*config);
+    let mut out = String::new();
+    let mut owned: Option<AnalysisCtx> = None;
+    for step in 1..=steps {
+        let cur: &AnalysisCtx = owned.as_ref().unwrap_or(ctx);
+        let report = miner.analyze_ctx(cur);
+        let Some(top) = report.ranked.iter().find(|r| r.fd.promoted) else {
+            writeln!(out, "step {step}: no promoted dependency — stopping").unwrap();
+            break;
+        };
+        let rel = cur.relation();
+        let names = rel.attr_names().to_vec();
+        // The same split as `dbmine_fdrank::decompose`, with the
+        // remainder built as a derived context instead of a bare
+        // relation.
+        let s1_attrs = top.fd.lhs.union(top.fd.rhs);
+        let s2_attrs = rel.all_attrs().minus(top.fd.rhs.minus(top.fd.lhs));
+        let s1 = rel.project_distinct(s1_attrs, &format!("{}_S1", rel.name()));
+        let child = cur.derive_projected(s2_attrs, &format!("{}_S2", rel.name()));
+        let s2 = child.relation();
+        let cells_before = rel.n_tuples() * rel.n_attrs();
+        let cells_after = s1.n_tuples() * s1.n_attrs() + s2.n_tuples() * s2.n_attrs();
+        let reduction = if cells_before == 0 {
+            0.0
+        } else {
+            1.0 - cells_after as f64 / cells_before as f64
+        };
+        writeln!(
+            out,
+            "step {step}: split by {} → {} ({} × {}) + remainder ({} × {}), {:.1}% fewer cells",
+            top.display(&names),
+            s1.name(),
+            s1.n_tuples(),
+            s1.n_attrs(),
+            s2.n_tuples(),
+            s2.n_attrs(),
+            100.0 * reduction
+        )
+        .unwrap();
+        let done = s2.n_attrs() <= 2;
+        owned = Some(child);
+        if done {
+            break;
+        }
+    }
+    out
+}
+
+/// `mvds`: bounded multivalued-dependency mining.
+pub fn run_mvds(rel: &Relation, max_lhs: usize) -> String {
+    let names = rel.attr_names().to_vec();
+    let mvds = dbmine_fdmine::mine_mvds(rel, max_lhs, true);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "multivalued dependencies (|X| ≤ {max_lhs}, FD-implied excluded): {}",
+        mvds.len()
+    )
+    .unwrap();
+    for m in mvds.iter().take(30) {
+        writeln!(out, "  {}", m.display(&names)).unwrap();
+    }
+    out
+}
+
+/// `joins`: Bellman-style cross-relation join candidates.
+pub fn run_joins(left: &Relation, right: &Relation) -> String {
+    let cands = dbmine_baselines::join_candidates(left, right, 0.3, 0.9);
+    let mut out = String::new();
+    writeln!(out, "join candidates ({}→{}):", left.name(), right.name()).unwrap();
+    for c in cands.iter().take(20) {
+        writeln!(
+            out,
+            "  {}.{} ~ {}.{}  jaccard {:.2}  containment {:.2}/{:.2}  ({} shared)",
+            left.name(),
+            left.attr_names()[c.left_attr],
+            right.name(),
+            right.attr_names()[c.right_attr],
+            c.jaccard,
+            c.left_containment,
+            c.right_containment,
+            c.shared
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The CLI per-command defaults, shared with the daemon so both front
+/// ends resolve missing parameters identically.
+pub fn analyze_config(
+    phi_t: Option<f64>,
+    phi_v: Option<f64>,
+    psi: Option<f64>,
+    max_lhs: Option<usize>,
+    threads: usize,
+) -> MinerConfig {
+    MinerConfig {
+        phi_tuples: phi_t.unwrap_or(0.1),
+        phi_values: phi_v.unwrap_or(0.0),
+        psi: psi.unwrap_or(0.5),
+        fd_miner: FdMiner::Auto,
+        max_lhs,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmine_datagen::{db2_sample, Db2Spec};
+    use dbmine_relation::paper::figure4;
+
+    #[test]
+    fn redesign_derived_chain_matches_relation_rebuild() {
+        // The derived-context redesign must print exactly what the old
+        // fresh-context-per-step loop printed.
+        let rel = db2_sample(&Db2Spec::default()).relation;
+        let ctx = AnalysisCtx::of(&rel);
+        let config = MinerConfig::default();
+        let derived = run_redesign(&ctx, 3, &config);
+
+        let mut expected = String::new();
+        let mut current = rel;
+        for step in 1..=3 {
+            let c = AnalysisCtx::from(current);
+            let report = StructureMiner::new(config).analyze_ctx(&c);
+            let Some(top) = report.ranked.iter().find(|r| r.fd.promoted) else {
+                writeln!(expected, "step {step}: no promoted dependency — stopping").unwrap();
+                break;
+            };
+            let names = c.relation().attr_names().to_vec();
+            let d = dbmine_fdrank::decompose(c.relation(), &top.fd);
+            writeln!(
+                expected,
+                "step {step}: split by {} → {} ({} × {}) + remainder ({} × {}), {:.1}% fewer cells",
+                top.display(&names),
+                d.s1.name(),
+                d.s1.n_tuples(),
+                d.s1.n_attrs(),
+                d.s2.n_tuples(),
+                d.s2.n_attrs(),
+                100.0 * d.storage_reduction()
+            )
+            .unwrap();
+            current = d.s2;
+            if current.n_attrs() <= 2 {
+                break;
+            }
+        }
+        assert_eq!(derived, expected);
+    }
+
+    #[test]
+    fn run_analyze_renders_report() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        let out = run_analyze(&ctx, &analyze_config(None, None, None, None, 1));
+        assert!(out.contains("# column profile"));
+        assert!(out.contains("# dependencies"));
+    }
+
+    #[test]
+    fn run_fds_exact_and_approx() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        assert!(run_fds(&ctx, None, None, 1).contains("exact minimal dependencies"));
+        assert!(run_fds(&ctx, Some(0.3), None, 1).contains("approximate dependencies"));
+    }
+}

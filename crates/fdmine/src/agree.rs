@@ -24,8 +24,22 @@ pub fn agree_set(rel: &Relation, t1: usize, t2: usize) -> AttrSet {
 }
 
 /// All distinct agree sets of the relation (including the empty set if
-/// some pair agrees nowhere).
+/// some pair agrees nowhere). Builds its own per-attribute partitions;
+/// callers holding an `AnalysisCtx` should pass its cached partitions to
+/// [`agree_sets_from`] instead.
 pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
+    let parts: Vec<StrippedPartition> = (0..rel.n_attrs())
+        .map(|a| StrippedPartition::of_attr(rel, a))
+        .collect();
+    let refs: Vec<&StrippedPartition> = parts.iter().collect();
+    agree_sets_from(rel, &refs)
+}
+
+/// As [`agree_sets`], over caller-supplied single-attribute partitions
+/// (`parts[a]` = π_A, in attribute order) — the `AnalysisCtx`-threaded
+/// path that reuses cached partitions instead of rebuilding them.
+pub fn agree_sets_from(rel: &Relation, parts: &[&StrippedPartition]) -> HashSet<AttrSet> {
+    debug_assert_eq!(parts.len(), rel.n_attrs());
     let n = rel.n_tuples();
     // Fx-hashed: the pair set holds up to O(n²) small integer keys.
     let mut seen_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
@@ -33,8 +47,7 @@ pub fn agree_sets(rel: &Relation) -> HashSet<AttrSet> {
 
     // Pairs sharing at least one attribute value, via the per-attribute
     // stripped partitions.
-    for a in 0..rel.n_attrs() {
-        let p = StrippedPartition::of_attr(rel, a);
+    for p in parts {
         for class in &p.classes {
             for (i, &t1) in class.iter().enumerate() {
                 for &t2 in &class[i + 1..] {

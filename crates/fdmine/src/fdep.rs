@@ -13,9 +13,11 @@
 //! complements, which we compute with the incremental minimal-transversal
 //! construction.
 
-use crate::agree::{agree_sets, maximal_sets};
+use crate::agree::{agree_sets, agree_sets_from, maximal_sets};
 use crate::fd::Fd;
+use dbmine_context::AnalysisCtx;
 use dbmine_relation::{AttrSet, Relation};
+use std::collections::HashSet;
 
 /// Mines all minimal, non-trivial functional dependencies of `rel`.
 ///
@@ -28,8 +30,20 @@ use dbmine_relation::{AttrSet, Relation};
 /// assert!(fds.contains(&Fd::new(AttrSet::single(2), 1)));
 /// ```
 pub fn mine_fdep(rel: &Relation) -> Vec<Fd> {
+    from_agree_sets(rel, &agree_sets(rel))
+}
+
+/// As [`mine_fdep`], over a shared [`AnalysisCtx`]: the agree-set pass
+/// reuses the context's cached single-attribute partitions instead of
+/// rebuilding them (output is identical — pinned by tests).
+pub fn mine_fdep_ctx(ctx: &AnalysisCtx) -> Vec<Fd> {
+    let rel = ctx.relation();
+    let parts = ctx.attr_partitions_with(1);
+    from_agree_sets(rel, &agree_sets_from(rel, &parts))
+}
+
+fn from_agree_sets(rel: &Relation, agrees: &HashSet<AttrSet>) -> Vec<Fd> {
     let all = rel.all_attrs();
-    let agrees = agree_sets(rel);
     let mut out = Vec::new();
     for a in 0..rel.n_attrs() {
         // Maximal invalid LHS sets for RHS a.
@@ -128,6 +142,34 @@ mod tests {
     fn hitting_sets_with_empty_member_impossible() {
         let hs = minimal_hitting_sets(&[AttrSet::EMPTY], set(&[0, 1]));
         assert!(hs.is_empty());
+    }
+
+    #[test]
+    fn ctx_path_matches_relation_path() {
+        for rel in [figure1(), figure4(), figure5()] {
+            let ctx = dbmine_context::AnalysisCtx::of(&rel);
+            let mut via_ctx = mine_fdep_ctx(&ctx);
+            let mut via_rel = mine_fdep(&rel);
+            via_ctx.sort();
+            via_rel.sort();
+            assert_eq!(via_ctx, via_rel, "mismatch on {}", rel.name());
+        }
+    }
+
+    #[test]
+    fn ctx_path_reuses_cached_partitions() {
+        let rel = figure4();
+        let ctx = dbmine_context::AnalysisCtx::of(&rel);
+        for a in 0..rel.n_attrs() {
+            ctx.attr_partition(a);
+        }
+        let builds = ctx.view_stats().builds;
+        mine_fdep_ctx(&ctx);
+        assert_eq!(
+            ctx.view_stats().builds,
+            builds,
+            "warm FDEP must not rebuild partitions"
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use check::{fd_error_g3, fd_holds, partition_of, partition_of_ctx};
 pub use cover::{closure, minimum_cover};
 pub use fastfds::mine_fastfds;
 pub use fd::Fd;
-pub use fdep::mine_fdep;
+pub use fdep::{mine_fdep, mine_fdep_ctx};
 pub use mvd::{mine_mvds, mvd_holds, Mvd};
 pub use partitions::{PartitionScratch, StrippedPartition};
 pub use tane::{mine_tane, mine_tane_ctx, TaneOptions};

@@ -25,6 +25,9 @@ pub enum CsvError {
     Empty,
     /// A quoted field was never closed.
     UnterminatedQuote { line: usize },
+    /// The header has more columns than [`crate::attrset::MAX_ATTRS`]
+    /// (attribute sets are 64-bit masks).
+    TooManyAttrs { got: usize, max: usize },
 }
 
 impl fmt::Display for CsvError {
@@ -39,6 +42,9 @@ impl fmt::Display for CsvError {
             CsvError::Empty => write!(f, "empty CSV input (missing header)"),
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::TooManyAttrs { got, max } => {
+                write!(f, "header has {got} columns; at most {max} supported")
             }
         }
     }
@@ -158,6 +164,15 @@ pub fn read_relation(reader: impl Read, name: &str) -> Result<Relation, CsvError
         .enumerate()
         .map(|(i, f)| f.unwrap_or_else(|| format!("col{i}")))
         .collect();
+    if names.len() > crate::attrset::MAX_ATTRS {
+        // RelationBuilder::new would panic on a too-wide schema; a CSV
+        // reader must fail typed instead (the daemon's request path
+        // feeds it untrusted input).
+        return Err(CsvError::TooManyAttrs {
+            got: names.len(),
+            max: crate::attrset::MAX_ATTRS,
+        });
+    }
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let mut b = RelationBuilder::new(name, &name_refs);
     while let Some(rec) = parse_record(&buf, &mut pos, &mut line)? {
@@ -327,6 +342,22 @@ mod tests {
             read_relation("A\n\"oops\n".as_bytes(), "t"),
             Err(CsvError::UnterminatedQuote { .. })
         ));
+    }
+
+    #[test]
+    fn too_many_columns_is_error_not_panic() {
+        let header: Vec<String> = (0..65).map(|i| format!("c{i}")).collect();
+        let csv = format!("{}\n", header.join(","));
+        let e = read_relation(csv.as_bytes(), "wide").unwrap_err();
+        assert!(matches!(e, CsvError::TooManyAttrs { got: 65, max: 64 }));
+    }
+
+    #[test]
+    fn exactly_max_columns_is_fine() {
+        let header: Vec<String> = (0..64).map(|i| format!("c{i}")).collect();
+        let csv = format!("{}\n", header.join(","));
+        let r = read_relation(csv.as_bytes(), "wide").unwrap();
+        assert_eq!(r.n_attrs(), 64);
     }
 
     #[test]

@@ -118,6 +118,48 @@ impl StrippedPartition {
         self.classes.iter().map(Vec::len).sum()
     }
 
+    /// Restricts this partition onto a tuple subset and renumbers it.
+    ///
+    /// `map[t]` is the new index of parent tuple `t`, or `u32::MAX` for
+    /// tuples outside the subset; `child_n` is the subset size. Each
+    /// class keeps only its surviving members (remapped), classes that
+    /// shrink below 2 are stripped, and the result is re-sorted into the
+    /// canonical lexicographic class order.
+    ///
+    /// When the subset is a `project_distinct_with_rows` row list over
+    /// attributes that include `A`, the restriction of π_A *is* the
+    /// child relation's π_A — two projected tuples agree on `A` exactly
+    /// when their (first-occurrence) parent rows do. That identity is
+    /// what lets a decomposition step derive its partitions from the
+    /// parent context instead of rebuilding them (bit-identity is pinned
+    /// by tests in `dbmine-context`).
+    pub fn restrict_remap(&self, map: &[u32], child_n: usize) -> StrippedPartition {
+        debug_assert_eq!(map.len(), self.n);
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for class in &self.classes {
+            let kept: Vec<u32> = class
+                .iter()
+                .filter_map(|&t| {
+                    let c = map[t as usize];
+                    (c != u32::MAX).then_some(c)
+                })
+                .collect();
+            if kept.len() >= 2 {
+                let mut kept = kept;
+                // A monotone map (the project_distinct case) leaves the
+                // members presorted; sort anyway to keep the documented
+                // ascending-members invariant for arbitrary maps.
+                kept.sort_unstable();
+                classes.push(kept);
+            }
+        }
+        classes.sort_unstable();
+        StrippedPartition {
+            classes,
+            n: child_n,
+        }
+    }
+
     /// The TANE error value `e(π) = ‖π‖ − |π|`.
     pub fn error(&self) -> usize {
         self.covered() - self.classes.len()
@@ -523,5 +565,41 @@ mod tests {
         assert_eq!(ids[0], ids[1]);
         assert_eq!(ids[2], ids[3]);
         assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn restrict_remap_matches_fresh_build_on_projection() {
+        let rel = figure4();
+        // Project on {B, C}: distinct rows come from parent tuples 0,1,2.
+        let attrs: crate::AttrSet = [1usize, 2].into_iter().collect();
+        let (child, rows) = rel.project_distinct_with_rows(attrs, "bc");
+        let mut map = vec![u32::MAX; rel.n_tuples()];
+        for (ci, &pt) in rows.iter().enumerate() {
+            map[pt as usize] = ci as u32;
+        }
+        for (ci, a) in attrs.iter().enumerate() {
+            let derived =
+                StrippedPartition::of_attr(&rel, a).restrict_remap(&map, child.n_tuples());
+            let fresh = StrippedPartition::of_attr(&child, ci);
+            assert_eq!(derived, fresh, "attr {a} restriction diverged");
+        }
+    }
+
+    #[test]
+    fn restrict_remap_drops_shrunk_classes_and_resorts() {
+        // Partition {0,1},{2,3,4} over n=5; keep tuples {1,3,4} with a
+        // deliberately non-monotone renumbering.
+        let p = StrippedPartition {
+            classes: vec![vec![0, 1], vec![2, 3, 4]],
+            n: 5,
+        };
+        let mut map = vec![u32::MAX; 5];
+        map[1] = 2;
+        map[3] = 0;
+        map[4] = 1;
+        let r = p.restrict_remap(&map, 3);
+        // {0,1} shrinks to one member → stripped; {2,3,4} → {0,1}.
+        assert_eq!(r.classes, vec![vec![0, 1]]);
+        assert_eq!(r.n, 3);
     }
 }

@@ -115,10 +115,21 @@ impl Relation {
     /// the π of relational algebra. The paper's decompositions and
     /// vertical partitions are built from this.
     pub fn project_distinct(&self, attrs: AttrSet, name: &str) -> Relation {
+        self.project_distinct_with_rows(attrs, name).0
+    }
+
+    /// As [`Self::project_distinct`], also returning, for each projected
+    /// tuple, the index of the parent tuple it was taken from (the first
+    /// occurrence of its projected value combination). The row list is
+    /// strictly increasing, which is what lets a parent's stripped
+    /// partitions be *restricted* onto the projection instead of rebuilt
+    /// (see `StrippedPartition::restrict_remap`).
+    pub fn project_distinct_with_rows(&self, attrs: AttrSet, name: &str) -> (Relation, Vec<u32>) {
         let keep: Vec<AttrId> = attrs.iter().collect();
         let names: Vec<&str> = keep.iter().map(|&a| self.attr_names[a].as_str()).collect();
         let mut seen: std::collections::HashSet<Vec<ValueId>> = Default::default();
         let mut b = RelationBuilder::new(name, &names);
+        let mut rows: Vec<u32> = Vec::new();
         for t in 0..self.n {
             if seen.insert(self.tuple_projected(t, attrs)) {
                 let row: Vec<Option<&str>> = keep
@@ -132,9 +143,10 @@ impl Relation {
                     })
                     .collect();
                 b.push_row(&row);
+                rows.push(t as u32);
             }
         }
-        b.build()
+        (b.build(), rows)
     }
 
     /// Builds a new relation containing only the tuples in `rows`
@@ -156,6 +168,47 @@ impl Relation {
     /// Iterates over all `(tuple, attr, value)` cells in row-major order.
     pub fn cells(&self) -> impl Iterator<Item = (usize, AttrId, ValueId)> + '_ {
         (0..self.n).flat_map(move |t| (0..self.n_attrs()).map(move |a| (t, a, self.columns[a][t])))
+    }
+
+    /// A 64-bit FNV-1a hash of the relation's full logical content:
+    /// name, schema, the strings behind every interned value id, and
+    /// every cell. Two relations loaded independently from byte-identical
+    /// CSV (same file stem) hash equal; any difference in name, schema,
+    /// values or row order changes the hash. This is the identity key
+    /// for shared-context caches (`dbmined`'s LRU): it depends only on
+    /// logical content, never on dictionary internals or load order of
+    /// *other* relations.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&[0xff]);
+        eat(&(self.attr_names.len() as u64).to_le_bytes());
+        for name in &self.attr_names {
+            eat(name.as_bytes());
+            eat(&[0xff]);
+        }
+        eat(&(self.n as u64).to_le_bytes());
+        // Hash cells by the *string* behind each id so the hash is
+        // independent of interning order; a length prefix keeps
+        // adjacent cells from gluing together ambiguously, and a NULL
+        // marker keeps a NULL cell distinct from the literal "NULL".
+        for col in &self.columns {
+            for &v in col {
+                let s = self.dict.string(v);
+                eat(&[(v == NULL_VALUE) as u8]);
+                eat(&(s.len() as u32).to_le_bytes());
+                eat(s.as_bytes());
+            }
+        }
+        h
     }
 
     /// The number of *distinct* value ids appearing anywhere in the relation
@@ -342,5 +395,53 @@ mod tests {
     fn row_width_checked() {
         let mut b = RelationBuilder::new("t", &["X", "Y"]);
         b.push_row(&[Some("v")]);
+    }
+
+    #[test]
+    fn project_distinct_with_rows_tracks_first_occurrences() {
+        let r = figure4();
+        // B,C pairs: (1,p) t0, (1,r) t1, (2,x) t2 (t3,t4 duplicate it).
+        let (p, rows) = r.project_distinct_with_rows([1, 2].into_iter().collect(), "bc");
+        assert_eq!(p.n_tuples(), 3);
+        assert_eq!(rows, vec![0, 1, 2]);
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        for (ci, &pt) in rows.iter().enumerate() {
+            assert_eq!(p.value_str(ci, 0), r.value_str(pt as usize, 1));
+            assert_eq!(p.value_str(ci, 1), r.value_str(pt as usize, 2));
+        }
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_content_sensitive() {
+        assert_eq!(figure4().content_hash(), figure4().content_hash());
+
+        let build = |name: &str, attrs: &[&str], rows: &[&[&str]]| {
+            let mut b = RelationBuilder::new(name, attrs);
+            for row in rows {
+                b.push_row_strs(row);
+            }
+            b.build()
+        };
+        let base = build("t", &["A", "B"], &[&["x", "y"], &["y", "x"]]);
+        // Same content, independently built → equal; any perturbation of
+        // name, schema, a cell, or row order → different.
+        let same = build("t", &["A", "B"], &[&["x", "y"], &["y", "x"]]);
+        assert_eq!(base.content_hash(), same.content_hash());
+        let renamed = build("u", &["A", "B"], &[&["x", "y"], &["y", "x"]]);
+        let reattr = build("t", &["A", "Z"], &[&["x", "y"], &["y", "x"]]);
+        let recell = build("t", &["A", "B"], &[&["x", "y"], &["y", "z"]]);
+        let reorder = build("t", &["A", "B"], &[&["y", "x"], &["x", "y"]]);
+        for other in [&renamed, &reattr, &recell, &reorder] {
+            assert_ne!(base.content_hash(), other.content_hash());
+        }
+    }
+
+    #[test]
+    fn content_hash_distinguishes_null_from_literal_null_string() {
+        let mut a = RelationBuilder::new("t", &["X"]);
+        a.push_row(&[None]);
+        let mut b = RelationBuilder::new("t", &["X"]);
+        b.push_row(&[Some("NULL")]);
+        assert_ne!(a.build().content_hash(), b.build().content_hash());
     }
 }

@@ -49,10 +49,16 @@ pub enum Counter {
     ViewBuilds,
     /// `AnalysisCtx` accesses served from an already-built view.
     ViewCacheHits,
+    /// `CtxCache` (the daemon's LRU of shared contexts) lookups that
+    /// found a resident `AnalysisCtx` for the requested content hash.
+    CtxLruHits,
+    /// `CtxCache` lookups that had to admit a fresh context (including
+    /// any eviction that made room for it).
+    CtxLruMisses,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 14;
+pub const N_COUNTERS: usize = 16;
 
 /// All counters, in index order. `COUNTERS[c as usize] == c` for every
 /// counter `c`.
@@ -71,6 +77,8 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::FdrankRedundantCells,
     Counter::ViewBuilds,
     Counter::ViewCacheHits,
+    Counter::CtxLruHits,
+    Counter::CtxLruMisses,
 ];
 
 impl Counter {
@@ -91,6 +99,8 @@ impl Counter {
             Counter::FdrankRedundantCells => "fdrank_redundant_cells",
             Counter::ViewBuilds => "view_builds",
             Counter::ViewCacheHits => "view_cache_hits",
+            Counter::CtxLruHits => "ctx_lru_hits",
+            Counter::CtxLruMisses => "ctx_lru_misses",
         }
     }
 }

@@ -10,12 +10,19 @@ consciously re-baselined.
 
 Usage:
     span_gate.py [--update] REFERENCE PROFILE.json
+    span_gate.py [--update] --jsonl REFERENCE RESPONSES.jsonl
 
 Exits non-zero when a reference span is missing or its call count
 differs; spans present only in the fresh profile are reported as
 warnings (new instrumentation is fine until baselined). ``--update``
 rewrites the reference skeleton from PROFILE.json. Profiles from a
 build without the `telemetry` feature are skipped with a warning.
+
+With ``--jsonl`` the input is a `dbmined` response stream (one JSON
+object per line): the embedded ``report`` of every profiled response is
+extracted and the gate runs on the concatenation of their span roots —
+pinning the per-request span skeleton of the daemon (`serve.analyze`,
+`serve.fds`, …) the same way the CLI gate pins the pipeline's.
 """
 
 import json
@@ -55,20 +62,47 @@ def compare(reference, fresh, path, failures, warnings):
             warnings.append(f"new span {path}/{s['name']} (x{s['calls']}) not in reference")
 
 
+def daemon_reports(path):
+    """The embedded RunReports of every profiled response in a
+    `dbmined` response stream (responses without one are skipped)."""
+    reports = []
+    with open(path) as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"ERROR: {path}:{n}: not a JSON response line: {e}", file=sys.stderr)
+                sys.exit(2)
+            report = response.get("report")
+            if report is not None:
+                reports.append(report)
+    return reports
+
+
 def main(argv):
-    args = [a for a in argv if a != "--update"]
-    update = len(args) != len(argv)
+    flags = {a for a in argv if a in ("--update", "--jsonl")}
+    args = [a for a in argv if a not in flags]
+    update = "--update" in flags
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
     ref_path, profile_path = args
 
-    with open(profile_path) as f:
-        report = json.load(f)
-    if not report.get("telemetry_compiled", False):
+    if "--jsonl" in flags:
+        reports = daemon_reports(profile_path)
+        if not reports:
+            print(f"ERROR: {profile_path}: no profiled responses found", file=sys.stderr)
+            return 2
+    else:
+        with open(profile_path) as f:
+            reports = [json.load(f)]
+    if not all(r.get("telemetry_compiled", False) for r in reports):
         print(f"WARNING: {profile_path}: telemetry not compiled in — skipping span gate")
         return 0
-    fresh = skeleton(report.get("spans", []))
+    fresh = [s for r in reports for s in skeleton(r.get("spans", []))]
 
     if update:
         with open(ref_path, "w") as f:

@@ -1,0 +1,176 @@
+//! Concurrency tests for the daemon's shared-context contract, driven
+//! against the in-process [`Daemon`]: N threads sharing one relation
+//! build every view exactly once, the LRU evicts under capacity
+//! pressure without corrupting results, and warm responses are
+//! byte-identical to cold ones.
+
+use dbmine::context::AnalysisCtx;
+use dbmine::server::{parse, Daemon, Json};
+use std::sync::Arc;
+
+fn demo_csv() -> String {
+    let mut csv = String::from("Name,City,Zip\\n");
+    for (n, c, z) in [
+        ("Pat", "Boston", "02139"),
+        ("Sal", "Boston", "02139"),
+        ("Kim", "Boston", "02139"),
+        ("Ana", "Toronto", "M5S1A1"),
+        ("Lee", "Toronto", "M5S1A1"),
+    ] {
+        csv.push_str(&format!("{n},{c},{z}\\n"));
+    }
+    csv
+}
+
+fn request(cmd: &str, csv: &str) -> String {
+    format!("{{\"cmd\":\"{cmd}\",\"csv\":\"{csv}\",\"name\":\"t\"}}")
+}
+
+fn response(d: &Daemon, line: &str) -> Json {
+    let h = d.handle_line(line);
+    assert!(!h.shutdown);
+    let v = parse(&h.line).expect("valid response JSON");
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(true)),
+        "request failed: {}",
+        h.line
+    );
+    v
+}
+
+fn builds(v: &Json) -> usize {
+    v.get("view_stats")
+        .and_then(|s| s.get("builds"))
+        .and_then(Json::as_usize)
+        .unwrap()
+}
+
+fn output(v: &Json) -> String {
+    v.get("output").and_then(Json::as_str).unwrap().to_string()
+}
+
+#[test]
+fn warm_context_serves_n_threads_with_zero_new_builds() {
+    let d = Arc::new(Daemon::new(4));
+    let csv = demo_csv();
+    // Warm up every view the three commands need.
+    let warm_analyze = output(&response(&d, &request("analyze", &csv)));
+    let warm_fds = output(&response(&d, &request("fds", &csv)));
+    let baseline = builds(&response(&d, &request("analyze", &csv)));
+    std::thread::scope(|s| {
+        for i in 0..8 {
+            let d = Arc::clone(&d);
+            let csv = csv.clone();
+            let (warm_analyze, warm_fds) = (warm_analyze.clone(), warm_fds.clone());
+            s.spawn(move || {
+                for _ in 0..4 {
+                    let cmd = if i % 2 == 0 { "analyze" } else { "fds" };
+                    let v = response(&d, &request(cmd, &csv));
+                    assert_eq!(v.get("cached"), Some(&Json::Bool(true)));
+                    let expect = if cmd == "analyze" {
+                        &warm_analyze
+                    } else {
+                        &warm_fds
+                    };
+                    assert_eq!(&output(&v), expect, "warm output drifted under concurrency");
+                }
+            });
+        }
+    });
+    let after = builds(&response(&d, &request("analyze", &csv)));
+    assert_eq!(baseline, after, "concurrent warm requests rebuilt views");
+}
+
+#[test]
+fn cold_concurrent_requests_share_exactly_one_context() {
+    // No warm-up: 8 threads race the same relation. The cache builds
+    // under its lock, so exactly one context is admitted and every view
+    // is built exactly once.
+    let d = Arc::new(Daemon::new(4));
+    let csv = demo_csv();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let d = Arc::clone(&d);
+            let csv = csv.clone();
+            s.spawn(move || {
+                response(&d, &request("analyze", &csv));
+            });
+        }
+    });
+    let stats = d.cache().stats();
+    assert_eq!(stats.misses, 1, "exactly one cold admission");
+    assert_eq!(stats.hits, 7, "every other request hit the shared context");
+    assert_eq!(stats.entries, 1);
+    // The shared context built each analyze view exactly once: a fresh
+    // context run of the same command builds the same number of views
+    // as the daemon's 8 concurrent requests did in total.
+    let solo = {
+        use dbmine::relation::csv::read_relation;
+        let rel = read_relation(csv.replace("\\n", "\n").as_bytes(), "t").unwrap();
+        let ctx = AnalysisCtx::from(rel);
+        let config = dbmine::render::analyze_config(None, None, None, None, 1);
+        dbmine::render::run_analyze(&ctx, &config);
+        ctx.view_stats().builds
+    };
+    let shared = builds(&response(&d, &request("analyze", &csv)));
+    assert_eq!(
+        shared as u64, solo,
+        "8 concurrent cold requests must build no more views than one request"
+    );
+}
+
+#[test]
+fn lru_evicts_under_capacity_pressure_and_results_stay_correct() {
+    let d = Daemon::new(2);
+    // Three distinct relations cycling through a capacity-2 cache.
+    let rels: Vec<String> = (0..3)
+        .map(|i| format!("A,B\\na{i},b\\na{i},b\\nc{i},d\\n"))
+        .collect();
+    let cold: Vec<String> = rels
+        .iter()
+        .map(|csv| output(&response(&d, &request("fds", csv))))
+        .collect();
+    // First relation was evicted by the third: requesting it again is a
+    // miss, but the output must be byte-identical to the cold run.
+    let v = response(&d, &request("fds", &rels[0]));
+    assert_eq!(
+        v.get("cached"),
+        Some(&Json::Bool(false)),
+        "rel 0 was evicted"
+    );
+    assert_eq!(
+        output(&v),
+        cold[0],
+        "evicted-and-rebuilt output must not drift"
+    );
+    let stats = d.cache().stats();
+    assert_eq!(stats.entries, 2);
+    assert!(
+        stats.evictions >= 2,
+        "capacity 2 with 4 admissions evicts ≥ 2"
+    );
+    // The most recent two relations are resident.
+    let v = response(&d, &request("fds", &rels[0]));
+    assert_eq!(v.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(output(&v), cold[0]);
+}
+
+#[test]
+fn mixed_commands_share_one_context_per_relation() {
+    let d = Daemon::new(4);
+    let csv = demo_csv();
+    for cmd in ["analyze", "duplicates", "fds", "partition", "redesign"] {
+        response(&d, &request(cmd, &csv));
+    }
+    let stats = d.cache().stats();
+    assert_eq!(stats.misses, 1, "five commands, one relation, one context");
+    assert_eq!(stats.hits, 4);
+    // And the whole battery again, warm: zero new view builds.
+    let before = builds(&response(&d, &request("analyze", &csv)));
+    for cmd in ["analyze", "duplicates", "fds", "partition", "redesign"] {
+        response(&d, &request(cmd, &csv));
+    }
+    let after = builds(&response(&d, &request("analyze", &csv)));
+    assert_eq!(before, after, "warm command battery rebuilt views");
+}
