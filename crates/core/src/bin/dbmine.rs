@@ -49,6 +49,10 @@ fn usage() -> ! {
          \x20 --threads N  worker threads for clustering and FD mining\n\
          \x20              (1 = serial, 0 = all cores; results are\n\
          \x20              bit-identical for every thread count)\n\
+         \x20 --shards N   build LIMBO Phase 1 from N parallel shard\n\
+         \x20              workers (0 = all cores; omit for the classic\n\
+         \x20              single-pass build; output is byte-identical\n\
+         \x20              for every shard count)\n\
          \x20 --profile P  write a telemetry run report (spans, counters,\n\
          \x20              allocations) as JSON to path P, or print the\n\
          \x20              human-readable report to stderr with `-`"
@@ -106,6 +110,9 @@ impl Args {
     fn threads(&self) -> usize {
         self.usize_flag("threads").unwrap_or(1)
     }
+    fn shards(&self) -> Option<usize> {
+        self.usize_flag("shards")
+    }
 }
 
 fn load(path: &str) -> Relation {
@@ -131,6 +138,11 @@ fn main() {
     #[cfg(feature = "telemetry")]
     telemetry::alloc::mark_installed();
     let args = parse_args();
+    // Validate shared numeric flags up front so every subcommand gives
+    // the typed error for a malformed value — including ones (like
+    // `fds`) whose computation never reaches LIMBO Phase 1.
+    let _ = args.threads();
+    let _ = args.shards();
     let profile = args.flags.get("profile").cloned();
     if profile.is_some() {
         if !telemetry::compiled() {
@@ -150,13 +162,17 @@ fn main() {
                 args.f64_flag("psi"),
                 args.usize_flag("max-lhs"),
                 args.threads(),
+                args.shards(),
             );
             print!("{}", render::run_analyze(&ctx, &config));
         }
         "duplicates" => {
             let ctx = AnalysisCtx::from(load(&args.path));
             let phi = args.f64_flag("phi-t").unwrap_or(0.1);
-            print!("{}", render::run_duplicates(&ctx, phi, args.threads()));
+            print!(
+                "{}",
+                render::run_duplicates(&ctx, phi, args.threads(), args.shards())
+            );
         }
         "fds" => {
             let ctx = AnalysisCtx::from(load(&args.path));
@@ -193,7 +209,13 @@ fn main() {
             let phi = args.f64_flag("phi-t").unwrap_or(0.5);
             print!(
                 "{}",
-                render::run_partition(&ctx, phi, args.usize_flag("k"), args.threads())
+                render::run_partition(
+                    &ctx,
+                    phi,
+                    args.usize_flag("k"),
+                    args.threads(),
+                    args.shards()
+                )
             );
         }
         "redesign" => {
@@ -201,6 +223,7 @@ fn main() {
             let steps = args.usize_flag("steps").unwrap_or(3);
             let config = MinerConfig {
                 threads: args.threads(),
+                shards: args.shards(),
                 ..MinerConfig::default()
             };
             print!("{}", render::run_redesign(&ctx, steps, &config));

@@ -41,6 +41,12 @@ pub struct MinerConfig {
     /// serial, `0` = all cores). Results are bit-identical for every
     /// thread count.
     pub threads: usize,
+    /// Sharded LIMBO Phase 1 (`--shards`): `None` = the classic
+    /// single-pass tree; `Some(w)` = chunked build + merge with `w`
+    /// shard workers (`0` = all cores). The chunk plan depends only on
+    /// the object count, so every worker count produces byte-identical
+    /// results.
+    pub shards: Option<usize>,
 }
 
 impl Default for MinerConfig {
@@ -52,6 +58,7 @@ impl Default for MinerConfig {
             fd_miner: FdMiner::Auto,
             max_lhs: None,
             threads: 1,
+            shards: None,
         }
     }
 }
@@ -241,11 +248,17 @@ impl StructureMiner {
             let _s = dbmine_telemetry::span!("miner.profile_columns");
             ctx.column_profiles().to_vec()
         };
-        let duplicate_tuples =
-            find_duplicate_tuples_ctx(ctx, LimboParams::with_phi(c.phi_tuples).threads(c.threads));
+        let duplicate_tuples = find_duplicate_tuples_ctx(
+            ctx,
+            LimboParams::with_phi(c.phi_tuples)
+                .threads(c.threads)
+                .shards(c.shards),
+        );
         let value_groups = cluster_values_ctx(
             ctx,
-            LimboParams::with_phi(c.phi_values).threads(c.threads),
+            LimboParams::with_phi(c.phi_values)
+                .threads(c.threads)
+                .shards(c.shards),
             None,
         );
         let attribute_grouping = group_attributes(&value_groups, rel.n_attrs());

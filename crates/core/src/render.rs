@@ -22,9 +22,19 @@ pub fn run_analyze(ctx: &AnalysisCtx, config: &MinerConfig) -> String {
 }
 
 /// `duplicates`: LIMBO tuple clustering at accuracy `φ_T = phi`.
-pub fn run_duplicates(ctx: &AnalysisCtx, phi: f64, threads: usize) -> String {
+/// `shards` selects the sharded Phase 1 build (`None` = classic
+/// single-pass; byte-identical output either way).
+pub fn run_duplicates(
+    ctx: &AnalysisCtx,
+    phi: f64,
+    threads: usize,
+    shards: Option<usize>,
+) -> String {
     let rel = ctx.relation();
-    let report = find_duplicate_tuples_ctx(ctx, LimboParams::with_phi(phi).threads(threads));
+    let report = find_duplicate_tuples_ctx(
+        ctx,
+        LimboParams::with_phi(phi).threads(threads).shards(shards),
+    );
     let mut out = String::new();
     writeln!(
         out,
@@ -89,9 +99,20 @@ pub fn run_fds(
 
 /// `partition`: horizontal partitioning via LIMBO at `φ_T = phi`,
 /// optionally forcing `k` clusters.
-pub fn run_partition(ctx: &AnalysisCtx, phi: f64, k: Option<usize>, threads: usize) -> String {
+pub fn run_partition(
+    ctx: &AnalysisCtx,
+    phi: f64,
+    k: Option<usize>,
+    threads: usize,
+    shards: Option<usize>,
+) -> String {
     let rel = ctx.relation();
-    let part = horizontal_partition_ctx(ctx, LimboParams::with_phi(phi).threads(threads), k, 8);
+    let part = horizontal_partition_ctx(
+        ctx,
+        LimboParams::with_phi(phi).threads(threads).shards(shards),
+        k,
+        8,
+    );
     let mut out = String::new();
     writeln!(
         out,
@@ -224,6 +245,7 @@ pub fn analyze_config(
     psi: Option<f64>,
     max_lhs: Option<usize>,
     threads: usize,
+    shards: Option<usize>,
 ) -> MinerConfig {
     MinerConfig {
         phi_tuples: phi_t.unwrap_or(0.1),
@@ -232,6 +254,7 @@ pub fn analyze_config(
         fd_miner: FdMiner::Auto,
         max_lhs,
         threads,
+        shards,
     }
 }
 
@@ -285,7 +308,7 @@ mod tests {
     fn run_analyze_renders_report() {
         let rel = figure4();
         let ctx = AnalysisCtx::of(&rel);
-        let out = run_analyze(&ctx, &analyze_config(None, None, None, None, 1));
+        let out = run_analyze(&ctx, &analyze_config(None, None, None, None, 1, None));
         assert!(out.contains("# column profile"));
         assert!(out.contains("# dependencies"));
     }

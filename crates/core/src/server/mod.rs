@@ -15,7 +15,7 @@
 //!
 //! ```json
 //! {"id": 1, "cmd": "analyze", "path": "data.csv",
-//!  "phi_t": 0.1, "phi_v": 0.0, "psi": 0.5, "threads": 2,
+//!  "phi_t": 0.1, "phi_v": 0.0, "psi": 0.5, "threads": 2, "shards": 4,
 //!  "max_lhs": 3, "approx": 0.05, "k": 4, "steps": 3,
 //!  "csv": "A,B\n1,2\n", "name": "inline", "profile": false}
 //! ```
@@ -229,17 +229,33 @@ fn run_command(req: &Request, ctx: &AnalysisCtx) -> Result<String, String> {
     Ok(match req.cmd.as_str() {
         "analyze" => render::run_analyze(
             ctx,
-            &render::analyze_config(req.phi_t, req.phi_v, req.psi, req.max_lhs, req.threads),
+            &render::analyze_config(
+                req.phi_t,
+                req.phi_v,
+                req.psi,
+                req.max_lhs,
+                req.threads,
+                req.shards,
+            ),
         ),
-        "duplicates" => render::run_duplicates(ctx, req.phi_t.unwrap_or(0.1), req.threads),
+        "duplicates" => {
+            render::run_duplicates(ctx, req.phi_t.unwrap_or(0.1), req.threads, req.shards)
+        }
         "fds" => render::run_fds(ctx, req.approx, req.max_lhs, req.threads),
-        "partition" => render::run_partition(ctx, req.phi_t.unwrap_or(0.5), req.k, req.threads),
+        "partition" => render::run_partition(
+            ctx,
+            req.phi_t.unwrap_or(0.5),
+            req.k,
+            req.threads,
+            req.shards,
+        ),
         "redesign" => {
             let config = MinerConfig {
                 phi_tuples: req.phi_t.unwrap_or(0.0),
                 phi_values: req.phi_v.unwrap_or(0.0),
                 psi: req.psi.unwrap_or(0.5),
                 threads: req.threads,
+                shards: req.shards,
                 ..MinerConfig::default()
             };
             render::run_redesign(ctx, req.steps, &config)
@@ -269,6 +285,7 @@ struct Request {
     phi_v: Option<f64>,
     psi: Option<f64>,
     threads: usize,
+    shards: Option<usize>,
     max_lhs: Option<usize>,
     approx: Option<f64>,
     k: Option<usize>,
@@ -277,8 +294,8 @@ struct Request {
 }
 
 const KNOWN_FIELDS: &[&str] = &[
-    "id", "cmd", "path", "csv", "name", "phi_t", "phi_v", "psi", "threads", "max_lhs", "approx",
-    "k", "steps", "profile",
+    "id", "cmd", "path", "csv", "name", "phi_t", "phi_v", "psi", "threads", "shards", "max_lhs",
+    "approx", "k", "steps", "profile",
 ];
 
 impl Request {
@@ -375,6 +392,7 @@ impl Request {
             phi_v,
             psi,
             threads: usize_field("threads")?.unwrap_or(1),
+            shards: usize_field("shards")?,
             max_lhs: usize_field("max_lhs")?,
             approx,
             k,
@@ -621,6 +639,8 @@ mod tests {
             "{\"cmd\":\"analyze\",\"csv\":\"A,B\\n1,2\\n\",\"wat\":1}",
             "{\"cmd\":\"analyze\",\"csv\":\"A,B\\n1,2\\n\",\"psi\":2.0}",
             "{\"cmd\":\"partition\",\"csv\":\"A,B\\n1,2\\n\",\"k\":0}",
+            "{\"cmd\":\"analyze\",\"csv\":\"A,B\\n1,2\\n\",\"shards\":\"four\"}",
+            "{\"cmd\":\"analyze\",\"csv\":\"A,B\\n1,2\\n\",\"shards\":-1}",
             "{\"cmd\":\"analyze\",\"path\":\"/nonexistent/x.csv\"}",
         ] {
             let h = d.handle_line(bad);
@@ -631,6 +651,25 @@ mod tests {
         // Still serving.
         let v = parse(&d.handle_line(&request("fds")).line).unwrap();
         assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn sharded_request_output_is_byte_identical_to_classic() {
+        let d = Daemon::new(4);
+        let csv = figure4_csv().replace('\n', "\\n");
+        for cmd in ["analyze", "duplicates", "partition"] {
+            let classic = format!("{{\"cmd\":\"{cmd}\",\"csv\":\"{csv}\"}}");
+            let sharded = format!("{{\"cmd\":\"{cmd}\",\"csv\":\"{csv}\",\"shards\":4}}");
+            let out = |line: &str| {
+                parse(&d.handle_line(line).line)
+                    .unwrap()
+                    .get("output")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            };
+            assert_eq!(out(&classic), out(&sharded), "cmd {cmd}");
+        }
     }
 
     #[test]

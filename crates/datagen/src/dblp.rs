@@ -15,6 +15,7 @@
 //!   `Month` — are over 98 % NULL.
 
 use crate::zipf::Zipf;
+use dbmine_relation::csv;
 use dbmine_relation::{Relation, RelationBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +58,14 @@ pub struct DblpSpec {
     pub n_conferences: usize,
     /// Distinct journal pool size.
     pub n_journals: usize,
+    /// Fold page numbers into this many buckets (0 = exact numbers, the
+    /// default). Bucketing reuses the same RNG draws, so the generated
+    /// row structure is identical and only the string universe shrinks:
+    /// at most `page_buckets²` distinct `Pages` values.
+    pub page_buckets: usize,
+    /// Recycle ISBN identifiers through this many buckets (0 = every
+    /// ISBN unique, the default).
+    pub isbn_buckets: usize,
 }
 
 impl Default for DblpSpec {
@@ -69,6 +78,8 @@ impl Default for DblpSpec {
             n_authors: 30_000,
             n_conferences: 800,
             n_journals: 150,
+            page_buckets: 0,
+            isbn_buckets: 0,
         }
     }
 }
@@ -84,27 +95,52 @@ impl DblpSpec {
             ..Default::default()
         }
     }
+
+    /// A configuration scaled to `n_tuples`: the paper's 50 000-tuple
+    /// relation drew from 30 000 authors, 800 conferences and 150
+    /// journals, and this keeps those proportions below that operating
+    /// point (with floors so tiny inputs still have skew to exercise)
+    /// and **caps them at it** above. Pages and ISBNs are bucketed so
+    /// they stop minting fresh strings too. The distinct-value universe
+    /// therefore saturates with growing `n_tuples` — which is what makes
+    /// Phase-1 cost per chunk, and the 10⁷-tuple bench, flat in the
+    /// relation size. Shared by the `dbgen` binary and the scaling
+    /// bench, so files on disk and in-process benches describe the same
+    /// data for a given `(n_tuples, seed)`.
+    pub fn scaled(n_tuples: usize, seed: u64) -> Self {
+        DblpSpec {
+            n_tuples,
+            seed,
+            n_authors: (n_tuples * 3 / 5).clamp(100, 30_000),
+            n_conferences: (n_tuples / 62).clamp(20, 800),
+            n_journals: (n_tuples / 333).clamp(8, 150),
+            page_buckets: 40,
+            isbn_buckets: 2_000,
+            ..Default::default()
+        }
+    }
 }
 
-/// Generates the integrated DBLP-style relation.
+/// Streams the generated rows (in [`DBLP_ATTRS`] order) to `sink`,
+/// exactly `spec.n_tuples` of them.
 ///
-/// Tuples come from *logical publications*: the XML→relational mapping
-/// produced one tuple per (publication, author), and — as with real
-/// integration pipelines — a fraction of publications are emitted twice
-/// (duplicate records). This is what gives the relation its heavy
-/// tuple-level duplication (the paper's RTR values of 0.88–0.98 inside
-/// the journal partition).
-pub fn dblp_sample(spec: &DblpSpec) -> Relation {
+/// This is the single generator behind both [`dblp_sample`] (sink =
+/// [`RelationBuilder::push_row`]) and [`write_csv`] (sink = CSV record
+/// writer), so the streamed file and the in-memory relation describe the
+/// same data — same dictionary interning order, same content hash — and
+/// a 10⁷-tuple file can be produced without ever materializing the
+/// relation.
+pub fn generate_rows(spec: &DblpSpec, mut sink: impl FnMut(&[Option<&str>])) {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let author_z = Zipf::new(spec.n_authors, 0.7);
     let conf_z = Zipf::new(spec.n_conferences, 0.7);
     let journal_z = Zipf::new(spec.n_journals, 0.8);
     let year_z = Zipf::new(24, 0.6);
 
-    let mut b = RelationBuilder::new("dblp", &DBLP_ATTRS);
+    let mut count = 0usize;
     let mut isbn_counter = 0usize;
 
-    while b.len() < spec.n_tuples {
+    while count < spec.n_tuples {
         // One logical publication.
         let kind: f64 = rng.gen();
         let with_pub_meta = rng.gen_bool(0.016);
@@ -112,11 +148,14 @@ pub fn dblp_sample(spec: &DblpSpec) -> Relation {
         let pages = if rng.gen_bool(0.35) {
             None
         } else {
-            Some(format!(
-                "{}-{}",
-                rng.gen_range(1..2400),
-                rng.gen_range(1..2400) + 2400
-            ))
+            // Bucketing folds the two draws after the fact so the RNG
+            // call sequence is identical with and without it.
+            let (mut lo, mut hi) = (rng.gen_range(1..2400), rng.gen_range(1..2400));
+            if spec.page_buckets > 0 {
+                lo %= spec.page_buckets;
+                hi %= spec.page_buckets;
+            }
+            Some(format!("{}-{}", lo, hi + 2400))
         };
 
         let (year, booktitle, journal, volume, number, school);
@@ -166,7 +205,12 @@ pub fn dblp_sample(spec: &DblpSpec) -> Relation {
             month =
                 Some(["Jan", "Mar", "Jun", "Sep", "Oct", "Dec"][rng.gen_range(0..6)].to_string());
             isbn_counter += 1;
-            isbn = Some(format!("ISBN-{isbn_counter:06}"));
+            let id = if spec.isbn_buckets > 0 {
+                isbn_counter % spec.isbn_buckets
+            } else {
+                isbn_counter
+            };
+            isbn = Some(format!("ISBN-{id:06}"));
         } else {
             publisher = None;
             editor = None;
@@ -184,10 +228,10 @@ pub fn dblp_sample(spec: &DblpSpec) -> Relation {
             .collect();
         for _ in 0..repeats {
             for author in &authors {
-                if b.len() >= spec.n_tuples {
+                if count >= spec.n_tuples {
                     break;
                 }
-                let row: Vec<Option<&str>> = vec![
+                let row: [Option<&str>; 13] = [
                     Some(author),
                     publisher.as_deref(),
                     Some(&year),
@@ -202,11 +246,53 @@ pub fn dblp_sample(spec: &DblpSpec) -> Relation {
                     series.as_deref(),
                     isbn.as_deref(),
                 ];
-                b.push_row(&row);
+                sink(&row);
+                count += 1;
             }
         }
     }
+}
+
+/// Generates the integrated DBLP-style relation in memory.
+///
+/// Tuples come from *logical publications*: the XML→relational mapping
+/// produced one tuple per (publication, author), and — as with real
+/// integration pipelines — a fraction of publications are emitted twice
+/// (duplicate records). This is what gives the relation its heavy
+/// tuple-level duplication (the paper's RTR values of 0.88–0.98 inside
+/// the journal partition).
+pub fn dblp_sample(spec: &DblpSpec) -> Relation {
+    let mut b = RelationBuilder::new("dblp", &DBLP_ATTRS);
+    generate_rows(spec, |row| b.push_row(row));
     b.build()
+}
+
+/// Streams the generated relation as CSV (header + rows), without
+/// materializing it. Reading the output back — whole-file or via the
+/// chunked scanner — reproduces [`dblp_sample`] exactly (same content
+/// hash), provided the relation is named `"dblp"`.
+pub fn write_csv(spec: &DblpSpec, w: &mut impl std::io::Write) -> std::io::Result<()> {
+    csv::write_header(w, &DBLP_ATTRS)?;
+    let mut err = None;
+    generate_rows(spec, |row| {
+        if err.is_none() {
+            if let Err(e) = csv::write_record(w, row) {
+                err = Some(e);
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// [`write_csv`] to a file path (buffered).
+pub fn write_csv_path(spec: &DblpSpec, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_csv(spec, &mut w)?;
+    use std::io::Write;
+    w.flush()
 }
 
 #[cfg(test)]
@@ -309,6 +395,83 @@ mod tests {
                 assert_eq!(a.value_str(t, at), b.value_str(t, at));
             }
         }
+    }
+
+    #[test]
+    fn streamed_csv_reproduces_the_sample_relation() {
+        // The CSV writer and the in-memory builder share one generator:
+        // reading the streamed file back (named "dblp") must give the
+        // exact relation, down to the content hash — whole-file reader
+        // and chunked scanner alike.
+        let spec = DblpSpec {
+            n_tuples: 700,
+            n_authors: 400,
+            n_conferences: 60,
+            n_journals: 12,
+            ..Default::default()
+        };
+        let rel = dblp_sample(&spec);
+        let mut bytes = Vec::new();
+        write_csv(&spec, &mut bytes).unwrap();
+
+        let reread = csv::read_relation(&bytes[..], "dblp").unwrap();
+        assert_eq!(reread.n_tuples(), rel.n_tuples());
+        assert_eq!(reread.content_hash(), rel.content_hash());
+
+        let scanned = dbmine_relation::ShardedRelation::scan_csv(&bytes[..], "dblp", 128).unwrap();
+        assert_eq!(scanned.n_tuples(), rel.n_tuples());
+        assert_eq!(scanned.content_hash(), rel.content_hash());
+    }
+
+    #[test]
+    fn bucketed_specs_bound_the_value_universe() {
+        // Bucketing folds the same RNG draws, so the row structure is
+        // unchanged (the Author column is identical) and only the string
+        // universe shrinks: pages collapse into ≤ B² ranges, ISBNs
+        // recycle K identifiers.
+        let raw = DblpSpec {
+            n_tuples: 4_000,
+            ..Default::default()
+        };
+        let bucketed = DblpSpec {
+            page_buckets: 8,
+            isbn_buckets: 5,
+            ..raw
+        };
+        let a = dblp_sample(&raw);
+        let b = dblp_sample(&bucketed);
+        let author = a.attr_id("Author").unwrap();
+        for t in (0..a.n_tuples()).step_by(61) {
+            assert_eq!(a.value_str(t, author), b.value_str(t, author));
+        }
+        let distinct = |rel: &Relation, name: &str| {
+            let at = rel.attr_id(name).unwrap();
+            (0..rel.n_tuples())
+                .filter(|&t| !rel.is_null(t, at))
+                .map(|t| rel.value(t, at))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(distinct(&b, "Pages") <= 64, "{}", distinct(&b, "Pages"));
+        assert!(distinct(&b, "ISBN") <= 5);
+        assert!(distinct(&a, "Pages") > 64);
+        assert!(b.distinct_value_count() < a.distinct_value_count());
+    }
+
+    #[test]
+    fn scaled_specs_saturate_the_pools() {
+        // Above the paper's 50 000-tuple operating point the pools stop
+        // growing, so the distinct-value universe saturates and the
+        // per-chunk Phase-1 working set is flat in the relation size.
+        let s = DblpSpec::scaled(10_000_000, 7);
+        assert_eq!(s.n_authors, 30_000);
+        assert_eq!(s.n_conferences, 800);
+        assert_eq!(s.n_journals, 150);
+        assert!(s.page_buckets > 0 && s.isbn_buckets > 0);
+        // Below it the proportions still scale.
+        let t = DblpSpec::scaled(10_000, 7);
+        assert_eq!(t.n_authors, 6_000);
+        assert!(t.n_conferences < 800);
     }
 
     #[test]

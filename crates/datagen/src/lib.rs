@@ -27,7 +27,7 @@ pub mod synthetic;
 pub mod zipf;
 
 pub use db2::{db2_sample, Db2Spec};
-pub use dblp::{dblp_sample, DblpSpec};
+pub use dblp::{dblp_sample, generate_rows, write_csv, write_csv_path, DblpSpec};
 pub use errors::{inject_near_duplicates, InjectionReport};
 pub use synthetic::{synthetic, PlantedFd, SyntheticSpec};
 pub use zipf::Zipf;

@@ -79,13 +79,28 @@ impl Dcf {
     /// `p(T|c*) = p(c1)/p(c*)·p(T|c1) + p(c2)/p(c*)·p(T|c2)`,
     /// `aux(c*) = aux(c1) + aux(c2)`.
     ///
+    /// When the two conditionals are identical the mixture is a no-op
+    /// mathematically — `α·p + (1−α)·p = p` — so the merged conditional
+    /// is kept **exactly** instead of being re-derived through the
+    /// weighted sum (which would perturb it by an ulp whenever
+    /// `p(c1)/p(c*) + p(c2)/p(c*)` rounds away from 1). This makes
+    /// duplicate-object clusters exact however many times and in
+    /// whatever order they merge, which is what keeps `φ = 0`
+    /// duplicate detection invariant across chunked ingest plans.
+    /// [`Dcf::merge_in_place`] applies the same predicate, preserving
+    /// their pinned bit-identity.
+    ///
     /// Allocates the merged vectors; the clustering hot paths use
     /// [`Dcf::merge_in_place`] and this function is kept as its pinned
     /// bit-identity reference.
     pub fn merge(&self, other: &Dcf) -> Dcf {
         let w = self.weight + other.weight;
         let cond = if w > 0.0 {
-            SparseDist::weighted_sum(&self.cond, self.weight / w, &other.cond, other.weight / w)
+            if self.cond == other.cond {
+                self.cond.clone()
+            } else {
+                SparseDist::weighted_sum(&self.cond, self.weight / w, &other.cond, other.weight / w)
+            }
         } else {
             SparseDist::new()
         };
@@ -110,12 +125,16 @@ impl Dcf {
         dbmine_telemetry::counter_add(dbmine_telemetry::Counter::DcfMerges, 1);
         let w = self.weight + other.weight;
         if w > 0.0 {
-            self.cond.merge_from(
-                self.weight / w,
-                &other.cond,
-                other.weight / w,
-                &mut scratch.buf,
-            );
+            // Identical-conditional fast path — same predicate as
+            // `Dcf::merge`, see there for the exactness argument.
+            if self.cond != other.cond {
+                self.cond.merge_from(
+                    self.weight / w,
+                    &other.cond,
+                    other.weight / w,
+                    &mut scratch.buf,
+                );
+            }
         } else {
             self.cond = SparseDist::new();
         }
@@ -222,6 +241,34 @@ mod tests {
             assert_eq!(m.weight.to_bits(), chained_ref.weight.to_bits());
             assert_eq!(m.cond.entries(), chained_ref.cond.entries());
         }
+    }
+
+    #[test]
+    fn identical_conditionals_merge_exactly() {
+        // α·p + (1−α)·p must stay *bitwise* p, for weights whose
+        // normalized shares don't sum to exactly 1.0 — the regime where
+        // the generic weighted sum drifts by an ulp.
+        let p = d(&[(0, 0.1), (3, 0.3), (7, 0.6)]);
+        let a = Dcf::singleton(0.3, p.clone());
+        let b = Dcf::singleton(0.1, p.clone());
+        let m = a.merge(&b);
+        assert_eq!(m.cond.entries(), p.entries());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.weight.to_bits(), (0.3f64 + 0.1).to_bits());
+        // Chained through unequal orders: ((a·b)·b) and (a·(b·b)) keep
+        // the conditional exactly — merge order no longer matters for
+        // duplicate classes.
+        let left = m.merge(&b);
+        let right = a.merge(&b.merge(&b));
+        assert_eq!(left.cond.entries(), p.entries());
+        assert_eq!(right.cond.entries(), p.entries());
+        // The in-place path takes the same fast path.
+        let mut scratch = MergeScratch::new();
+        let mut ip = a.clone();
+        ip.merge_in_place(&b, &mut scratch);
+        assert_eq!(ip.cond.entries(), m.cond.entries());
+        assert_eq!(ip.cond.total().to_bits(), m.cond.total().to_bits());
+        assert_eq!(ip.weight.to_bits(), m.weight.to_bits());
     }
 
     #[test]

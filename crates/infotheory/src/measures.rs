@@ -200,6 +200,19 @@ pub fn merge_information_loss(
     if p_star <= 0.0 || !p_star.is_finite() {
         return 0.0;
     }
+    // Identical conditionals merge for free: `D_JS[p, p] = 0` for *any*
+    // JS weights. The floating-point evaluation below only lands on an
+    // exact 0.0 when `p(ci)/p(c*)` is an exact half (the mixture
+    // `π·x + (1−π)·x` rounds back to `x`); for every other weight split
+    // it returns ulp-level noise of either sign, which makes `φ = 0`
+    // merge decisions (threshold exactly 0) depend on how duplicate
+    // masses happened to accumulate. Short-circuiting keeps duplicate
+    // clusters exactly free to merge in any order — the invariant the
+    // sharded Phase 1 plans rely on ([`Dcf::merge`'s matching fast path
+    // in `dbmine-ib`] keeps the merged conditional exact).
+    if cond_i == cond_j {
+        return 0.0;
+    }
     let loss = p_star * js_divergence(cond_i, p_ci / p_star, cond_j, p_cj / p_star);
     // JS is bounded, so a non-finite δI can only come from corrupt inputs
     // (NaN weights or conditionals). Treating it as a free merge keeps the
@@ -345,6 +358,21 @@ mod tests {
         let bc = dist(&[(0, 0.2), (1, 0.8)]);
         let d = merge_information_loss(1.0 / 3.0, &a, 2.0 / 3.0, &bc);
         assert!((d - 0.515_5).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn merge_loss_identical_conditionals_is_exactly_zero() {
+        // For any weight split — not just exact halves — merging equal
+        // conditionals must cost *bitwise* 0.0, so a `φ = 0` threshold
+        // (τ = 0) always accepts the merge regardless of how the two
+        // duplicate masses accumulated.
+        let p = dist(&[(0, 0.1), (3, 0.3), (7, 0.6)]);
+        for (wi, wj) in [(0.5, 0.5), (0.3, 0.1), (1.0 / 3.0, 2.0 / 7.0), (0.7, 1e-12)] {
+            assert_eq!(
+                merge_information_loss(wi, &p, wj, &p).to_bits(),
+                0.0f64.to_bits()
+            );
+        }
     }
 
     #[test]

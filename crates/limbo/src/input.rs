@@ -12,7 +12,7 @@
 use dbmine_context::AnalysisCtx;
 use dbmine_ib::Dcf;
 use dbmine_infotheory::SparseDist;
-use dbmine_relation::{Relation, TupleRows, ValueIndex};
+use dbmine_relation::{qualified_row, Relation, RelationChunk, TupleRows, ValueIndex};
 
 /// Singleton DCFs for every tuple of the relation (matrix `M` rows).
 pub fn tuple_dcfs(rel: &Relation) -> Vec<Dcf> {
@@ -42,6 +42,17 @@ pub fn tuple_dcfs_from(rows: &TupleRows, threads: usize) -> Vec<Dcf> {
     dbmine_parallel::par_map_range(threads, rows.len(), |t| {
         Dcf::singleton(p, rows.row(t).clone())
     })
+}
+
+/// Singleton tuple DCFs for one ingest chunk — the chunked counterpart
+/// of [`tuple_dcfs_from`]. `stride`/`mass`/`prior` come from the whole
+/// relation (`qualified_stride(|dict|, m)`, `1/m`, `1/n`), so a chunk's
+/// DCFs are bitwise the slice `objects[chunk.start..]` of the in-memory
+/// construction.
+pub fn tuple_dcfs_for_chunk(chunk: &RelationChunk, stride: u32, mass: f64, prior: f64) -> Vec<Dcf> {
+    (0..chunk.n_rows())
+        .map(|t| Dcf::singleton(prior, qualified_row(stride, mass, chunk.row_values(t))))
+        .collect()
 }
 
 /// Singleton ADCFs for every distinct value of the relation: the `N` row

@@ -23,17 +23,22 @@
 pub mod double;
 pub mod input;
 pub mod pipeline;
+pub mod sharded;
 pub mod tree;
 pub mod tree_reference;
 
 pub use double::{reexpress_over_clusters, reexpress_over_clusters_ctx};
 pub use input::{
-    attribute_dcfs, tuple_dcfs, tuple_dcfs_ctx, tuple_dcfs_from, tuple_dcfs_with, value_dcfs,
-    value_dcfs_with,
+    attribute_dcfs, tuple_dcfs, tuple_dcfs_ctx, tuple_dcfs_for_chunk, tuple_dcfs_from,
+    tuple_dcfs_with, value_dcfs, value_dcfs_with,
 };
 pub use pipeline::{
     phase1, phase1_ref, phase2, phase2_with, phase3, phase3_with, run, Limbo, LimboModel,
     LimboParams,
+};
+pub use sharded::{
+    phase1_auto, phase1_csv, phase1_csv_path, phase1_sharded, ShardPlan, ShardedPhase1,
+    DEFAULT_CHUNK_TUPLES,
 };
 pub use tree::{DcfTree, Leaves};
 pub use tree_reference::DcfTreeRef;

@@ -17,6 +17,13 @@ pub struct LimboParams {
     /// search and Phase 3 assignment). `1` = serial, `0` = all cores.
     /// Results are bit-identical for every thread count.
     pub threads: usize,
+    /// Sharded Phase 1 knob (`--shards`): `None` = the classic
+    /// single-pass tree (default everywhere; zero behavior change);
+    /// `Some(w)` = chunked build over [`crate::ShardPlan::auto`] with
+    /// `w` shard workers (`0` = all cores). The output depends only on
+    /// the auto plan — never on `w` — so every worker count produces
+    /// byte-identical results.
+    pub shards: Option<usize>,
 }
 
 impl Default for LimboParams {
@@ -25,6 +32,7 @@ impl Default for LimboParams {
             phi: 0.0,
             branching: 4,
             threads: 1,
+            shards: None,
         }
     }
 }
@@ -41,6 +49,11 @@ impl LimboParams {
     /// The same parameters with `threads` worker threads.
     pub fn threads(self, threads: usize) -> Self {
         LimboParams { threads, ..self }
+    }
+
+    /// The same parameters with the sharded Phase 1 knob set.
+    pub fn shards(self, shards: Option<usize>) -> Self {
+        LimboParams { shards, ..self }
     }
 }
 

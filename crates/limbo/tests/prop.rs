@@ -4,7 +4,9 @@
 
 use dbmine_ib::{aib, Dcf};
 use dbmine_infotheory::{mutual_information, SparseDist};
-use dbmine_limbo::{phase1, phase2, phase3, DcfTree, DcfTreeRef, LimboParams};
+use dbmine_limbo::{
+    phase1, phase1_sharded, phase2, phase3, DcfTree, DcfTreeRef, LimboParams, ShardPlan,
+};
 use proptest::prelude::*;
 
 /// Random singleton DCFs over a small domain, with equal masses.
@@ -155,6 +157,52 @@ proptest! {
             prop_assert_eq!(m.weight.to_bits(), y.weight.to_bits());
             prop_assert_eq!(c.cond.entries(), y.cond.entries());
             prop_assert_eq!(m.cond.entries(), y.cond.entries());
+        }
+    }
+
+    #[test]
+    fn sharded_phase1_is_invariant_under_worker_count(
+        objects in arb_stream(),
+        phi in 0.0f64..2.0,
+        chunk in 1usize..16,
+    ) {
+        // The chunk plan fixes the output; shard workers are pure
+        // scheduling. Every worker count must reproduce the same leaves
+        // bit for bit — weights, counts, conditional entries.
+        let mi = info_of(&objects);
+        let params = LimboParams::with_phi(phi);
+        let plan = ShardPlan::with_chunk_size(objects.len(), chunk);
+        let reference = phase1_sharded(&objects, mi, params, &plan, 1);
+        for workers in [2usize, 3, 8] {
+            let m = phase1_sharded(&objects, mi, params, &plan, workers);
+            prop_assert_eq!(m.leaves.len(), reference.leaves.len());
+            for (x, y) in m.leaves.iter().zip(&reference.leaves) {
+                prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+                prop_assert_eq!(x.count, y.count);
+                prop_assert_eq!(x.cond.entries(), y.cond.entries());
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_sharded_phase1_equals_classic(
+        objects in arb_stream(),
+        phi in 0.0f64..2.0,
+        workers in 1usize..6,
+    ) {
+        // One chunk means no merge stage: the sharded build must be the
+        // classic single-pass Phase 1, bit for bit, at any worker count.
+        let mi = info_of(&objects);
+        let params = LimboParams::with_phi(phi);
+        let plan = ShardPlan::with_chunk_size(objects.len(), objects.len().max(1));
+        let sharded = phase1_sharded(&objects, mi, params, &plan, workers);
+        let classic = phase1(objects.iter().cloned(), mi, objects.len(), params);
+        prop_assert_eq!(sharded.leaves.len(), classic.leaves.len());
+        for (x, y) in sharded.leaves.iter().zip(&classic.leaves) {
+            prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            prop_assert_eq!(x.count, y.count);
+            prop_assert_eq!(x.cond.entries(), y.cond.entries());
+            prop_assert_eq!(x.cond.total().to_bits(), y.cond.total().to_bits());
         }
     }
 

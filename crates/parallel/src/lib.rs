@@ -84,6 +84,53 @@ where
     par_map_range(threads, items.len(), |i| f(i, &items[i]))
 }
 
+/// [`par_map`] without the serial-fallback floor: every input is
+/// assumed to be a *coarse* unit of work (a shard chunk, a whole file
+/// segment) worth its own thread even when there are only a handful of
+/// them. `par_map` falls back to serial below 128 items because its
+/// call sites map per-tuple work; sharded Phase 1 maps per-chunk work,
+/// where 4 items can be 4 × 65 536 tuples and the spawn overhead is
+/// noise.
+///
+/// Items are distributed in contiguous runs of `ceil(n / threads)` and
+/// results are written back by index, so output order — and, for pure
+/// `f`, output *bits* — are identical for every thread count.
+pub fn par_map_coarse<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut start = 0usize;
+        while start < n {
+            let len = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let lo = start;
+            scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(lo + off, &items[lo + off]));
+                }
+            });
+            start += len;
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
 /// Like [`par_map`], but hands each worker a mutable per-chunk state
 /// built by `init` — the hook hot loops need to reuse scratch buffers
 /// (e.g. partition-product probe tables) without re-allocating per item
@@ -175,6 +222,29 @@ mod tests {
     fn results_are_in_index_order() {
         let out = par_map_range(4, 1_000, |i| i);
         assert_eq!(out, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coarse_map_parallelizes_small_inputs() {
+        // Unlike par_map, there is no serial floor: 3 items across 8
+        // requested threads still agree with the serial run, in order.
+        let items: Vec<u64> = vec![10, 20, 30];
+        let serial = par_map_coarse(1, &items, |i, &x| x + i as u64);
+        for threads in [0, 2, 3, 8] {
+            let parallel = par_map_coarse(threads, &items, |i, &x| x + i as u64);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        assert_eq!(serial, vec![10, 21, 32]);
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_coarse(4, &empty, |_, &x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn coarse_map_agrees_with_par_map_on_large_inputs() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let a = par_map(4, &items, |i, &x| x * 3 + i as u64);
+        let b = par_map_coarse(4, &items, |i, &x| x * 3 + i as u64);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -59,11 +59,11 @@ impl From<std::io::Error> for CsvError {
 }
 
 /// A parsed field: `None` = NULL (empty unquoted field).
-type Field = Option<String>;
+pub(crate) type Field = Option<String>;
 
 /// Splits one logical CSV record starting at `input[pos..]`.
 /// Returns the fields and the next position, or None at end of input.
-fn parse_record(
+pub(crate) fn parse_record(
     input: &[u8],
     pos: &mut usize,
     line: &mut usize,
@@ -149,16 +149,11 @@ fn push_field(fields: &mut Vec<Field>, field: String, was_quoted: bool) {
     }
 }
 
-/// Reads a relation from CSV text. The first record is the header.
-pub fn read_relation(reader: impl Read, name: &str) -> Result<Relation, CsvError> {
-    let mut buf = Vec::new();
-    BufReader::new(reader).read_to_end(&mut buf)?;
-    let mut pos = 0usize;
-    let mut line = 1usize;
-    let header = match parse_record(&buf, &mut pos, &mut line)? {
-        Some(h) => h,
-        None => return Err(CsvError::Empty),
-    };
+/// Resolves a parsed header record into attribute names (`col{i}`
+/// fallback for NULL header cells) and rejects too-wide schemas. Shared
+/// by the in-memory reader and the chunked stream ([`crate::shard`]) so
+/// both see exactly the same schema for the same bytes.
+pub(crate) fn header_names(header: Vec<Field>) -> Result<Vec<String>, CsvError> {
     let names: Vec<String> = header
         .into_iter()
         .enumerate()
@@ -173,22 +168,51 @@ pub fn read_relation(reader: impl Read, name: &str) -> Result<Relation, CsvError
             max: crate::attrset::MAX_ATTRS,
         });
     }
+    Ok(names)
+}
+
+/// Classifies a parsed data record against the schema width: `None` for
+/// a skippable blank line, the record for a well-formed row, an error for
+/// a ragged one. Shared by the in-memory reader and the chunked stream
+/// so both accept exactly the same rows.
+pub(crate) fn normalize_row(
+    rec: Vec<Field>,
+    expected: usize,
+    line: usize,
+) -> Result<Option<Vec<Field>>, CsvError> {
+    // A blank line parses as one NULL field. For multi-column schemas
+    // it is decoration and skipped; for single-column schemas it IS a
+    // valid record (a NULL cell), so it must round-trip.
+    if expected > 1 && rec.len() == 1 && rec[0].is_none() {
+        return Ok(None);
+    }
+    if rec.len() != expected {
+        return Err(CsvError::RaggedRow {
+            line,
+            expected,
+            got: rec.len(),
+        });
+    }
+    Ok(Some(rec))
+}
+
+/// Reads a relation from CSV text. The first record is the header.
+pub fn read_relation(reader: impl Read, name: &str) -> Result<Relation, CsvError> {
+    let mut buf = Vec::new();
+    BufReader::new(reader).read_to_end(&mut buf)?;
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let header = match parse_record(&buf, &mut pos, &mut line)? {
+        Some(h) => h,
+        None => return Err(CsvError::Empty),
+    };
+    let names = header_names(header)?;
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let mut b = RelationBuilder::new(name, &name_refs);
     while let Some(rec) = parse_record(&buf, &mut pos, &mut line)? {
-        // A blank line parses as one NULL field. For multi-column schemas
-        // it is decoration and skipped; for single-column schemas it IS a
-        // valid record (a NULL cell), so it must round-trip.
-        if names.len() > 1 && rec.len() == 1 && rec[0].is_none() {
+        let Some(rec) = normalize_row(rec, names.len(), line)? else {
             continue;
-        }
-        if rec.len() != names.len() {
-            return Err(CsvError::RaggedRow {
-                line,
-                expected: names.len(),
-                got: rec.len(),
-            });
-        }
+        };
         let cells: Vec<Option<&str>> = rec.iter().map(|f| f.as_deref()).collect();
         b.push_row(&cells);
     }
@@ -220,26 +244,42 @@ fn write_field(w: &mut impl Write, s: &str) -> std::io::Result<()> {
     }
 }
 
-/// Writes a relation as CSV (header + rows). NULL cells are written as
-/// empty unquoted fields so they round-trip through [`read_relation`].
-pub fn write_relation(rel: &Relation, w: &mut impl Write) -> std::io::Result<()> {
-    for (i, name) in rel.attr_names().iter().enumerate() {
+/// Writes one header record. Round-trips through [`read_relation`].
+pub fn write_header(w: &mut impl Write, names: &[impl AsRef<str>]) -> std::io::Result<()> {
+    for (i, name) in names.iter().enumerate() {
         if i > 0 {
             w.write_all(b",")?;
         }
-        write_field(w, name)?;
+        write_field(w, name.as_ref())?;
     }
-    w.write_all(b"\n")?;
-    for t in 0..rel.n_tuples() {
-        for a in 0..rel.n_attrs() {
-            if a > 0 {
-                w.write_all(b",")?;
-            }
-            if !rel.is_null(t, a) {
-                write_field(w, rel.value_str(t, a))?;
-            }
+    w.write_all(b"\n")
+}
+
+/// Writes one data record: NULL cells (`None`) as empty unquoted fields,
+/// values quoted as needed. Round-trips through [`read_relation`], so a
+/// generator can stream arbitrarily many rows to disk without ever
+/// materializing a [`Relation`].
+pub fn write_record(w: &mut impl Write, cells: &[Option<&str>]) -> std::io::Result<()> {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
         }
-        w.write_all(b"\n")?;
+        if let Some(s) = cell {
+            write_field(w, s)?;
+        }
+    }
+    w.write_all(b"\n")
+}
+
+/// Writes a relation as CSV (header + rows). NULL cells are written as
+/// empty unquoted fields so they round-trip through [`read_relation`].
+pub fn write_relation(rel: &Relation, w: &mut impl Write) -> std::io::Result<()> {
+    write_header(w, rel.attr_names())?;
+    let mut row: Vec<Option<&str>> = Vec::with_capacity(rel.n_attrs());
+    for t in 0..rel.n_tuples() {
+        row.clear();
+        row.extend((0..rel.n_attrs()).map(|a| (!rel.is_null(t, a)).then(|| rel.value_str(t, a))));
+        write_record(w, &row)?;
     }
     Ok(())
 }

@@ -24,14 +24,21 @@
 pub mod attrset;
 pub mod csv;
 pub mod dict;
+pub mod hash;
 pub mod matrix;
 pub mod paper;
 pub mod partition;
 pub mod relation;
+pub mod shard;
 pub mod stats;
 
 pub use attrset::AttrSet;
 pub use dict::{ValueDict, ValueId, NULL_VALUE};
-pub use matrix::{TupleRows, ValueIndex};
+pub use hash::ContentHasher;
+pub use matrix::{qualified_row, qualified_stride, TupleRows, ValueIndex};
 pub use partition::{PartitionScratch, StrippedPartition};
 pub use relation::{AttrId, Relation, RelationBuilder};
+pub use shard::{
+    tuple_mutual_information_chunks, CsvChunks, CsvRecordStream, RelationChunk, ShardedRelation,
+    DEFAULT_CHUNK_TUPLES,
+};

@@ -17,6 +17,35 @@ use crate::dict::ValueId;
 use crate::relation::Relation;
 use dbmine_infotheory::{mutual_information, SparseDist};
 
+/// The feature-key stride for attribute-qualified value keys: cell
+/// `(a, v)` maps to feature `a · stride + v` with `stride = |dict|`.
+/// This is the **single definition** shared by the in-memory tuple view
+/// ([`TupleRows::build`]) and the chunked-ingest path ([`crate::shard`]),
+/// so both produce bitwise-identical conditional rows.
+///
+/// # Panics
+/// Panics if the qualified key space does not fit `u32` feature ids.
+pub fn qualified_stride(dict_len: usize, m: usize) -> u32 {
+    let stride = dict_len as u64;
+    assert!(
+        stride * m.max(1) as u64 <= u64::from(u32::MAX) + 1,
+        "attribute-qualified value keys exceed the u32 feature space"
+    );
+    stride as u32
+}
+
+/// One tuple's conditional row `p(V|t)`: uniform `mass` on the qualified
+/// feature key of each cell, in attribute order. `values` yields the
+/// tuple's cell value ids for attributes `0..m`.
+pub fn qualified_row(stride: u32, mass: f64, values: impl Iterator<Item = ValueId>) -> SparseDist {
+    SparseDist::from_pairs(
+        values
+            .enumerate()
+            .map(|(a, v)| (a as u32 * stride + v, mass))
+            .collect(),
+    )
+}
+
 /// The tuple view of a relation: `p(t) = 1/n`, `p(V|t)` uniform mass
 /// `1/m` on each of the tuple's `m` cells.
 ///
@@ -42,20 +71,10 @@ impl TupleRows {
     /// feature keys.
     pub fn build(rel: &Relation) -> Self {
         let m = rel.n_attrs();
-        let stride = rel.dict().len() as u64;
-        assert!(
-            stride * m.max(1) as u64 <= u64::from(u32::MAX) + 1,
-            "attribute-qualified value keys exceed the u32 feature space"
-        );
+        let stride = qualified_stride(rel.dict().len(), m);
         let mass = 1.0 / m as f64;
         let rows = (0..rel.n_tuples())
-            .map(|t| {
-                SparseDist::from_pairs(
-                    (0..m)
-                        .map(|a| (a as u32 * stride as u32 + rel.value(t, a), mass))
-                        .collect(),
-                )
-            })
+            .map(|t| qualified_row(stride, mass, (0..m).map(|a| rel.value(t, a))))
             .collect();
         TupleRows {
             rows,

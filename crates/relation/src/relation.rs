@@ -178,37 +178,22 @@ impl Relation {
     /// for shared-context caches (`dbmined`'s LRU): it depends only on
     /// logical content, never on dictionary internals or load order of
     /// *other* relations.
+    ///
+    /// Defined by [`crate::ContentHasher`], which hashes cells row-major
+    /// so the streaming chunked-ingest path ([`crate::shard`]) computes
+    /// the identical hash without materializing the relation.
     pub fn content_hash(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-        const FNV_PRIME: u64 = 0x100000001b3;
-        let mut h = FNV_OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        };
-        eat(self.name.as_bytes());
-        eat(&[0xff]);
-        eat(&(self.attr_names.len() as u64).to_le_bytes());
-        for name in &self.attr_names {
-            eat(name.as_bytes());
-            eat(&[0xff]);
+        let mut hasher = crate::hash::ContentHasher::new(&self.name, &self.attr_names);
+        let mut row: Vec<Option<&str>> = Vec::with_capacity(self.n_attrs());
+        for t in 0..self.n {
+            row.clear();
+            row.extend(self.columns.iter().map(|col| {
+                let v = col[t];
+                (v != NULL_VALUE).then(|| self.dict.string(v))
+            }));
+            hasher.push_row(&row);
         }
-        eat(&(self.n as u64).to_le_bytes());
-        // Hash cells by the *string* behind each id so the hash is
-        // independent of interning order; a length prefix keeps
-        // adjacent cells from gluing together ambiguously, and a NULL
-        // marker keeps a NULL cell distinct from the literal "NULL".
-        for col in &self.columns {
-            for &v in col {
-                let s = self.dict.string(v);
-                eat(&[(v == NULL_VALUE) as u8]);
-                eat(&(s.len() as u32).to_le_bytes());
-                eat(s.as_bytes());
-            }
-        }
-        h
+        hasher.finish()
     }
 
     /// The number of *distinct* value ids appearing anywhere in the relation

@@ -1,0 +1,678 @@
+//! Out-of-core sharded CSV ingest.
+//!
+//! [`crate::csv::read_relation`] buffers the whole file and builds the
+//! whole columnar relation before any mining starts — fine at paper
+//! scale, hopeless at 10⁷ tuples. This module ingests the same CSV in
+//! **bounded-memory chunks** while producing *bitwise* the same derived
+//! quantities as the in-memory path:
+//!
+//! * [`ShardedRelation::scan_csv`] — pass 1 over the stream: resolves
+//!   the header (same `col{i}`/width semantics as `read_relation`),
+//!   interns every cell into the global [`ValueDict`] **in row-major
+//!   order** (so ids match a [`crate::RelationBuilder`] load exactly),
+//!   counts tuples, and folds the incremental [`ContentHasher`]. The
+//!   resulting hash equals [`crate::Relation::content_hash`] of the
+//!   in-memory load — the identity key `dbmined`'s context LRU uses —
+//!   without ever holding more than the dictionary and one record.
+//! * [`ShardedRelation::chunks_from`] — later passes: re-reads the
+//!   stream and yields [`RelationChunk`]s of at most `chunk_tuples`
+//!   rows in the relation's interned columnar layout. Peak memory is
+//!   the dictionary plus one chunk, independent of the relation size.
+//! * [`tuple_mutual_information_chunks`] — folds `I(T;V)` of the tuple
+//!   view over a chunk stream with exactly the operation sequence of
+//!   `TupleRows::mutual_information`, so the result is bit-identical.
+//!
+//! The record scanner ([`CsvRecordStream`]) drives the same
+//! `parse_record` state machine as the in-memory reader over a rolling
+//! buffer: a record is accepted only once it is newline-terminated or
+//! the input is exhausted, so buffer-boundary placement — even inside a
+//! quoted embedded newline — can never change what is parsed.
+
+use crate::csv::{header_names, normalize_row, parse_record, CsvError, Field};
+use crate::dict::{ValueDict, ValueId, NULL_VALUE};
+use crate::hash::ContentHasher;
+use crate::matrix::{qualified_row, qualified_stride};
+use dbmine_infotheory::{entropy_of, SparseDist};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Default ingest chunk size, in tuples. 65 536 rows of interned `u32`
+/// cells keep a chunk in the low megabytes for paper-scale schemas
+/// while amortizing per-chunk costs at 10⁷-tuple scale.
+pub const DEFAULT_CHUNK_TUPLES: usize = 65_536;
+
+/// Read granularity of the rolling buffer, in bytes.
+const READ_BLOCK: usize = 64 * 1024;
+
+/// Consumed-prefix length beyond which the rolling buffer is compacted.
+const COMPACT_THRESHOLD: usize = 4 * READ_BLOCK;
+
+/// Streams logical CSV records from a reader through a rolling buffer,
+/// parsing with the exact `parse_record` state machine of the in-memory
+/// reader. Memory use is bounded by the longest single record, not the
+/// input length.
+pub struct CsvRecordStream<R: Read> {
+    reader: R,
+    buf: Vec<u8>,
+    pos: usize,
+    line: usize,
+    eof: bool,
+}
+
+impl<R: Read> CsvRecordStream<R> {
+    /// Wraps a reader positioned at the start of the CSV text.
+    pub fn new(reader: R) -> Self {
+        CsvRecordStream {
+            reader,
+            buf: Vec::new(),
+            pos: 0,
+            line: 1,
+            eof: false,
+        }
+    }
+
+    /// The 1-based line number of the *next* unparsed position (the same
+    /// counter the in-memory reader reports in errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    fn fill(&mut self) -> Result<(), CsvError> {
+        let mut block = [0u8; READ_BLOCK];
+        let got = self.reader.read(&mut block)?;
+        if got == 0 {
+            self.eof = true;
+        } else {
+            self.buf.extend_from_slice(&block[..got]);
+        }
+        Ok(())
+    }
+
+    /// The next logical record, or `None` at end of input.
+    pub fn next_record(&mut self) -> Result<Option<Vec<Field>>, CsvError> {
+        loop {
+            let mut try_pos = self.pos;
+            let mut try_line = self.line;
+            match parse_record(&self.buf, &mut try_pos, &mut try_line) {
+                Ok(None) => {
+                    if self.eof {
+                        return Ok(None);
+                    }
+                    self.fill()?;
+                }
+                Ok(Some(rec)) => {
+                    // Only accept a record the in-memory parser would
+                    // also have produced: one ending at a newline, or
+                    // one ending at true end-of-input. A parse that
+                    // merely ran out of *buffer* re-runs after a refill
+                    // (the state machine is deterministic on prefixes,
+                    // so re-parsing from the record start is exact).
+                    let newline_terminated =
+                        try_pos > 0 && try_pos <= self.buf.len() && self.buf[try_pos - 1] == b'\n';
+                    if newline_terminated || self.eof {
+                        self.pos = try_pos;
+                        self.line = try_line;
+                        if self.pos >= COMPACT_THRESHOLD {
+                            self.buf.drain(..self.pos);
+                            self.pos = 0;
+                        }
+                        return Ok(Some(rec));
+                    }
+                    self.fill()?;
+                }
+                Err(e) => {
+                    // E.g. an open quote at the buffer end: an error only
+                    // if no more input can close it.
+                    if self.eof {
+                        return Err(e);
+                    }
+                    self.fill()?;
+                }
+            }
+        }
+    }
+}
+
+/// One ingest chunk: up to `chunk_tuples` consecutive rows in the
+/// relation's interned columnar layout.
+#[derive(Clone, Debug)]
+pub struct RelationChunk {
+    /// Index of this chunk's first tuple in the whole relation.
+    pub start: usize,
+    /// Column-major cell ids: `columns[a][t]` is the value of local row
+    /// `t` in attribute `a`. All columns have equal length.
+    pub columns: Vec<Vec<ValueId>>,
+}
+
+impl RelationChunk {
+    /// Rows in this chunk.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Attributes per row.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The value id of local row `t`, attribute `a`.
+    pub fn value(&self, t: usize, a: usize) -> ValueId {
+        self.columns[a][t]
+    }
+
+    /// Iterator over local row `t`'s cell values in attribute order.
+    pub fn row_values(&self, t: usize) -> impl Iterator<Item = ValueId> + '_ {
+        self.columns.iter().map(move |col| col[t])
+    }
+}
+
+/// The bounded-memory view of a CSV relation: schema, global value
+/// dictionary, tuple count and content hash — everything *except* the
+/// cell matrix, which is re-streamed in chunks on demand.
+///
+/// Built by one streaming pass ([`ShardedRelation::scan_csv`] /
+/// [`ShardedRelation::scan_csv_path`]); subsequent passes re-read the
+/// source via [`ShardedRelation::chunks`] / [`chunks_from`]. The
+/// dictionary is interned in the same row-major order as an in-memory
+/// [`crate::RelationBuilder`] load, so every id — and every quantity
+/// derived from ids — matches the in-memory path bitwise.
+///
+/// [`chunks_from`]: ShardedRelation::chunks_from
+#[derive(Clone, Debug)]
+pub struct ShardedRelation {
+    name: String,
+    attr_names: Vec<String>,
+    dict: ValueDict,
+    n: usize,
+    content_hash: u64,
+    chunk_tuples: usize,
+    path: Option<PathBuf>,
+}
+
+impl ShardedRelation {
+    /// Pass 1 over a CSV stream: header, dictionary, tuple count and
+    /// content hash, holding only the dictionary and one record in
+    /// memory. `chunk_tuples` sets the granularity of later chunk
+    /// passes (`0` means [`DEFAULT_CHUNK_TUPLES`]).
+    pub fn scan_csv<R: Read>(reader: R, name: &str, chunk_tuples: usize) -> Result<Self, CsvError> {
+        let mut stream = CsvRecordStream::new(reader);
+        let header = match stream.next_record()? {
+            Some(h) => h,
+            None => return Err(CsvError::Empty),
+        };
+        let attr_names = header_names(header)?;
+        let mut dict = ValueDict::new();
+        let mut hasher = ContentHasher::new(name, &attr_names);
+        let mut n = 0usize;
+        while let Some(rec) = stream.next_record()? {
+            let Some(rec) = normalize_row(rec, attr_names.len(), stream.line())? else {
+                continue;
+            };
+            hasher.push_row(&rec);
+            for cell in &rec {
+                dict.intern_cell(cell.as_deref());
+            }
+            n += 1;
+        }
+        Ok(ShardedRelation {
+            name: name.to_string(),
+            attr_names,
+            dict,
+            n,
+            content_hash: hasher.finish(),
+            chunk_tuples: if chunk_tuples == 0 {
+                DEFAULT_CHUNK_TUPLES
+            } else {
+                chunk_tuples
+            },
+            path: None,
+        })
+    }
+
+    /// [`ShardedRelation::scan_csv`] over a file, remembering the path so
+    /// [`ShardedRelation::chunks`] can re-open it for later passes. The
+    /// file stem becomes the relation name, as in
+    /// [`crate::csv::read_relation_path`].
+    pub fn scan_csv_path(path: impl AsRef<Path>, chunk_tuples: usize) -> Result<Self, CsvError> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("relation")
+            .to_string();
+        let file = std::fs::File::open(path)?;
+        let mut sharded = Self::scan_csv(file, &name, chunk_tuples)?;
+        sharded.path = Some(path.to_path_buf());
+        Ok(sharded)
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute names, in schema order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Number of attributes `m`.
+    pub fn n_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Number of tuples `n`.
+    pub fn n_tuples(&self) -> usize {
+        self.n
+    }
+
+    /// The global value dictionary (frozen after the scan pass).
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
+    }
+
+    /// The content hash — bit-identical to
+    /// [`crate::Relation::content_hash`] of the same CSV loaded in
+    /// memory under the same name.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Chunk granularity, in tuples.
+    pub fn chunk_tuples(&self) -> usize {
+        self.chunk_tuples
+    }
+
+    /// The backing file of a path-backed scan, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of chunks a full pass yields: `ceil(n / chunk_tuples)`.
+    pub fn n_chunks(&self) -> usize {
+        self.n.div_ceil(self.chunk_tuples)
+    }
+
+    /// A chunk pass over a fresh reader of the **same** CSV bytes the
+    /// scan pass consumed. The header is re-validated against the
+    /// scanned schema; any cell absent from the frozen dictionary means
+    /// the input changed between passes and yields a typed error.
+    pub fn chunks_from<R: Read>(&self, reader: R) -> CsvChunks<'_, R> {
+        CsvChunks {
+            sharded: self,
+            stream: CsvRecordStream::new(reader),
+            header_done: false,
+            emitted: 0,
+            failed: false,
+        }
+    }
+
+    /// A chunk pass re-opening the scanned file
+    /// ([`ShardedRelation::scan_csv_path`] loads only).
+    pub fn chunks(&self) -> Result<CsvChunks<'_, std::fs::File>, CsvError> {
+        let path = self.path.as_ref().expect(
+            "ShardedRelation::chunks needs a path-backed scan; use chunks_from for readers",
+        );
+        Ok(self.chunks_from(std::fs::File::open(path)?))
+    }
+}
+
+fn changed_input_error(detail: String) -> CsvError {
+    CsvError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("CSV changed between scan and chunk passes: {detail}"),
+    ))
+}
+
+/// Iterator over [`RelationChunk`]s of a [`ShardedRelation`] source.
+/// Yields `ceil(n / chunk_tuples)` chunks, each holding at most
+/// `chunk_tuples` rows; stops (with an error) if the stream disagrees
+/// with the scanned schema, dictionary or tuple count.
+pub struct CsvChunks<'a, R: Read> {
+    sharded: &'a ShardedRelation,
+    stream: CsvRecordStream<R>,
+    header_done: bool,
+    emitted: usize,
+    failed: bool,
+}
+
+impl<R: Read> CsvChunks<'_, R> {
+    fn read_header(&mut self) -> Result<(), CsvError> {
+        let header = match self.stream.next_record()? {
+            Some(h) => h,
+            None => return Err(CsvError::Empty),
+        };
+        let names = header_names(header)?;
+        if names != self.sharded.attr_names {
+            return Err(changed_input_error(format!(
+                "header is {names:?}, scanned schema was {:?}",
+                self.sharded.attr_names
+            )));
+        }
+        self.header_done = true;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<RelationChunk>, CsvError> {
+        if !self.header_done {
+            self.read_header()?;
+        }
+        let m = self.sharded.n_attrs();
+        let cap = self.sharded.chunk_tuples;
+        let mut columns: Vec<Vec<ValueId>> = vec![Vec::with_capacity(cap.min(1 << 16)); m];
+        let mut rows = 0usize;
+        while rows < cap {
+            let Some(rec) = self.stream.next_record()? else {
+                break;
+            };
+            let Some(rec) = normalize_row(rec, m, self.stream.line())? else {
+                continue;
+            };
+            for (a, cell) in rec.iter().enumerate() {
+                let id = match cell.as_deref() {
+                    None => NULL_VALUE,
+                    Some(s) => self.sharded.dict.lookup(s).ok_or_else(|| {
+                        changed_input_error(format!("value {s:?} not in scanned dictionary"))
+                    })?,
+                };
+                columns[a].push(id);
+            }
+            rows += 1;
+        }
+        if rows == 0 {
+            if self.emitted != self.sharded.n {
+                return Err(changed_input_error(format!(
+                    "stream ended after {} tuples, scan saw {}",
+                    self.emitted, self.sharded.n
+                )));
+            }
+            return Ok(None);
+        }
+        let start = self.emitted;
+        self.emitted += rows;
+        if self.emitted > self.sharded.n {
+            return Err(changed_input_error(format!(
+                "stream has more than the {} scanned tuples",
+                self.sharded.n
+            )));
+        }
+        Ok(Some(RelationChunk { start, columns }))
+    }
+}
+
+impl<R: Read> Iterator for CsvChunks<'_, R> {
+    type Item = Result<RelationChunk, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_chunk() {
+            Ok(Some(chunk)) => Some(Ok(chunk)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// The tuple-view mutual information `I(T;V)` folded over a chunk
+/// stream — bit-identical to
+/// `TupleRows::build(&relation).mutual_information()` for the same
+/// content, because both fold the same conditional rows in the same
+/// order through the same marginal/entropy operations. Peak memory is
+/// the marginal accumulator plus one chunk.
+pub fn tuple_mutual_information_chunks<R: Read>(
+    sharded: &ShardedRelation,
+    chunks: CsvChunks<'_, R>,
+) -> Result<f64, CsvError> {
+    let m = sharded.n_attrs();
+    let n = sharded.n_tuples();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let stride = qualified_stride(sharded.dict().len(), m);
+    let mass = 1.0 / m as f64;
+    let pv = 1.0 / n as f64;
+    let mut marginal = SparseDist::new();
+    let mut h_cond = 0.0;
+    for chunk in chunks {
+        let chunk = chunk?;
+        for t in 0..chunk.n_rows() {
+            let cond = qualified_row(stride, mass, chunk.row_values(t));
+            marginal = SparseDist::weighted_sum(&marginal, 1.0, &cond, pv);
+            h_cond += pv * entropy_of(&cond);
+        }
+    }
+    Ok((entropy_of(&marginal) - h_cond).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::read_relation;
+    use crate::matrix::TupleRows;
+
+    /// A reader that dribbles bytes out in fixed-size drips, forcing the
+    /// rolling buffer to refill at arbitrary (and adversarial) offsets.
+    struct Drip<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Drip<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let take = self.step.min(out.len()).min(self.data.len() - self.pos);
+            out[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+            self.pos += take;
+            Ok(take)
+        }
+    }
+
+    fn drip(data: &str, step: usize) -> Drip<'_> {
+        Drip {
+            data: data.as_bytes(),
+            pos: 0,
+            step,
+        }
+    }
+
+    const SAMPLE: &str = "A,B,C\n\
+        a,w,p\n\
+        a,w,r\n\
+        w,1,\"x,1\"\n\
+        \"multi\nline\",2,x\n\
+        \n\
+        z,2,x\n";
+
+    fn in_memory(csv: &str, name: &str) -> crate::Relation {
+        read_relation(csv.as_bytes(), name).unwrap()
+    }
+
+    #[test]
+    fn scan_matches_in_memory_load_for_every_drip_size() {
+        let rel = in_memory(SAMPLE, "t");
+        for step in [1, 2, 3, 5, 7, 64, 4096] {
+            let s = ShardedRelation::scan_csv(drip(SAMPLE, step), "t", 2).unwrap();
+            assert_eq!(s.n_tuples(), rel.n_tuples(), "step={step}");
+            assert_eq!(s.attr_names(), rel.attr_names());
+            assert_eq!(s.dict().len(), rel.dict().len());
+            assert_eq!(s.content_hash(), rel.content_hash(), "step={step}");
+        }
+    }
+
+    #[test]
+    fn chunks_reproduce_the_columnar_relation() {
+        let rel = in_memory(SAMPLE, "t");
+        for chunk_tuples in [1, 2, 3, 100] {
+            let s = ShardedRelation::scan_csv(drip(SAMPLE, 3), "t", chunk_tuples).unwrap();
+            let mut seen = 0usize;
+            for chunk in s.chunks_from(SAMPLE.as_bytes()) {
+                let chunk = chunk.unwrap();
+                assert_eq!(chunk.start, seen);
+                assert!(chunk.n_rows() <= chunk_tuples);
+                for t in 0..chunk.n_rows() {
+                    for a in 0..chunk.n_attrs() {
+                        assert_eq!(
+                            chunk.value(t, a),
+                            rel.value(seen + t, a),
+                            "chunk_tuples={chunk_tuples} t={} a={a}",
+                            seen + t
+                        );
+                    }
+                }
+                seen += chunk.n_rows();
+            }
+            assert_eq!(seen, rel.n_tuples());
+            assert_eq!(s.n_chunks(), rel.n_tuples().div_ceil(chunk_tuples.max(1)));
+        }
+    }
+
+    #[test]
+    fn streaming_mi_is_bit_identical_to_tuple_rows() {
+        let rel = in_memory(SAMPLE, "t");
+        let reference = TupleRows::build(&rel).mutual_information();
+        for chunk_tuples in [1, 2, 3, 100] {
+            let s = ShardedRelation::scan_csv(SAMPLE.as_bytes(), "t", chunk_tuples).unwrap();
+            let mi = tuple_mutual_information_chunks(&s, s.chunks_from(drip(SAMPLE, 5))).unwrap();
+            assert_eq!(
+                mi.to_bits(),
+                reference.to_bits(),
+                "chunk_tuples={chunk_tuples}"
+            );
+        }
+    }
+
+    #[test]
+    fn dictionary_ids_match_builder_interning_order() {
+        // Row-major interning must assign the exact ids RelationBuilder
+        // does — ids are load-bearing for bitwise-equal derived views.
+        let rel = in_memory(SAMPLE, "t");
+        let s = ShardedRelation::scan_csv(SAMPLE.as_bytes(), "t", 10).unwrap();
+        for id in 0..rel.dict().len() {
+            assert_eq!(s.dict().string(id as u32), rel.dict().string(id as u32));
+        }
+    }
+
+    #[test]
+    fn hash_depends_on_name_like_in_memory_path() {
+        let a = ShardedRelation::scan_csv(SAMPLE.as_bytes(), "t", 10).unwrap();
+        let b = ShardedRelation::scan_csv(SAMPLE.as_bytes(), "u", 10).unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_eq!(b.content_hash(), in_memory(SAMPLE, "u").content_hash());
+    }
+
+    #[test]
+    fn single_column_blank_lines_are_rows_here_too() {
+        let csv = "A\nx\n\ny\n";
+        let rel = in_memory(csv, "t");
+        let s = ShardedRelation::scan_csv(csv.as_bytes(), "t", 2).unwrap();
+        assert_eq!(s.n_tuples(), 3);
+        assert_eq!(s.content_hash(), rel.content_hash());
+        let rows: usize = s
+            .chunks_from(csv.as_bytes())
+            .map(|c| c.unwrap().n_rows())
+            .sum();
+        assert_eq!(rows, 3);
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        for csv in ["A,B\r\n1,2\r\n3,4", "A,B\n1,2\n3,4"] {
+            let rel = in_memory(csv, "t");
+            for step in [1, 4, 1000] {
+                let s = ShardedRelation::scan_csv(drip(csv, step), "t", 1).unwrap();
+                assert_eq!(s.n_tuples(), 2);
+                assert_eq!(s.content_hash(), rel.content_hash());
+            }
+        }
+    }
+
+    #[test]
+    fn errors_match_in_memory_reader() {
+        assert!(matches!(
+            ShardedRelation::scan_csv("".as_bytes(), "t", 1),
+            Err(CsvError::Empty)
+        ));
+        assert!(matches!(
+            ShardedRelation::scan_csv("A,B\n1\n".as_bytes(), "t", 1),
+            Err(CsvError::RaggedRow {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardedRelation::scan_csv("A\n\"oops\n".as_bytes(), "t", 1),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+        let wide: String = format!(
+            "{}\n",
+            (0..65)
+                .map(|i| format!("c{i}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert!(matches!(
+            ShardedRelation::scan_csv(wide.as_bytes(), "t", 1),
+            Err(CsvError::TooManyAttrs { got: 65, max: 64 })
+        ));
+    }
+
+    #[test]
+    fn changed_input_between_passes_is_detected() {
+        let s = ShardedRelation::scan_csv(SAMPLE.as_bytes(), "t", 10).unwrap();
+        // New value the frozen dictionary has never seen.
+        let tampered = SAMPLE.replace("z,2,x", "NEW,2,x");
+        let err = s
+            .chunks_from(tampered.as_bytes())
+            .find_map(Result::err)
+            .expect("tampered value must error");
+        assert!(err.to_string().contains("changed between scan"));
+        // Changed header.
+        let reheadered = SAMPLE.replace("A,B,C", "A,B,D");
+        let err = s
+            .chunks_from(reheadered.as_bytes())
+            .find_map(Result::err)
+            .expect("tampered header must error");
+        assert!(err.to_string().contains("changed between scan"));
+        // Truncated stream (fewer tuples than scanned).
+        let truncated = &SAMPLE[..SAMPLE.len() - "z,2,x\n".len()];
+        let err = s
+            .chunks_from(truncated.as_bytes())
+            .find_map(Result::err)
+            .expect("truncated stream must error");
+        assert!(err.to_string().contains("ended after"));
+    }
+
+    #[test]
+    fn path_backed_scan_rechunks_from_disk() {
+        let dir = std::env::temp_dir().join("dbmine_shard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let s = ShardedRelation::scan_csv_path(&path, 2).unwrap();
+        assert_eq!(s.name(), "sample");
+        let rel = in_memory(SAMPLE, "sample");
+        assert_eq!(s.content_hash(), rel.content_hash());
+        let rows: usize = s.chunks().unwrap().map(|c| c.unwrap().n_rows()).sum();
+        assert_eq!(rows, rel.n_tuples());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_stream_survives_long_records_and_compaction() {
+        // A value far larger than the read block exercises refill-retry
+        // and compaction; content must still round-trip exactly.
+        let big = "v".repeat(3 * READ_BLOCK);
+        let csv = format!("A,B\n{big},w\nx,y\n");
+        let rel = in_memory(&csv, "t");
+        let s = ShardedRelation::scan_csv(csv.as_bytes(), "t", 1).unwrap();
+        assert_eq!(s.n_tuples(), 2);
+        assert_eq!(s.content_hash(), rel.content_hash());
+        assert_eq!(s.dict().len(), rel.dict().len());
+    }
+}

@@ -7,7 +7,7 @@
 
 use dbmine_context::AnalysisCtx;
 use dbmine_ib::KStat;
-use dbmine_limbo::{phase1, phase2_with, phase3_with, tuple_dcfs_ctx, LimboParams};
+use dbmine_limbo::{phase1_auto, phase2_with, phase3_with, tuple_dcfs_ctx, LimboParams};
 use dbmine_relation::Relation;
 
 /// The outcome of horizontal partitioning.
@@ -121,7 +121,7 @@ pub fn horizontal_partition_ctx(
     let threads = params.threads;
     let objects = tuple_dcfs_ctx(ctx, threads);
     let mi = ctx.tuple_mutual_information();
-    let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
+    let model = phase1_auto(&objects, mi, params);
     let n_summaries = model.leaves.len();
 
     // Full clustering (down to one cluster) to obtain all k statistics.

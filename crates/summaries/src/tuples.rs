@@ -13,7 +13,7 @@
 
 use dbmine_context::AnalysisCtx;
 use dbmine_ib::{assign_all_with, Dcf};
-use dbmine_limbo::{phase1, tuple_dcfs_ctx, LimboParams};
+use dbmine_limbo::{phase1_auto, tuple_dcfs_ctx, LimboParams};
 use dbmine_relation::Relation;
 
 /// A candidate duplicate group: the tuples Phase 3 associated with one
@@ -107,7 +107,8 @@ pub fn find_duplicate_tuples_ctx(ctx: &AnalysisCtx, params: LimboParams) -> Dupl
     let n = ctx.relation().n_tuples();
     let objects = tuple_dcfs_ctx(ctx, params.threads);
     let mi = ctx.tuple_mutual_information();
-    let model = phase1(objects.iter().cloned(), mi, n, params);
+    debug_assert_eq!(objects.len(), n);
+    let model = phase1_auto(&objects, mi, params);
 
     // Step 3: summaries with p(c*) > 1/n, i.e. more than one tuple merged.
     let multi: Vec<Dcf> = model
@@ -163,7 +164,7 @@ pub fn tuple_summary_assignment_with(rel: &Relation, params: LimboParams) -> (Ve
 pub fn tuple_summary_assignment_ctx(ctx: &AnalysisCtx, params: LimboParams) -> (Vec<usize>, usize) {
     let objects = tuple_dcfs_ctx(ctx, params.threads);
     let mi = ctx.tuple_mutual_information();
-    let model = phase1(objects.iter().cloned(), mi, objects.len(), params);
+    let model = phase1_auto(&objects, mi, params);
     let leaves = &model.leaves;
     let assignment = if leaves.is_empty() {
         vec![0; objects.len()]

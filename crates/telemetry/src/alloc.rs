@@ -105,6 +105,20 @@ pub struct AllocStats {
     /// Absolute peak live bytes during the region (watermark reset at
     /// region start — same semantics as the original bench counter).
     pub peak_bytes: u64,
+    /// Live bytes at region start. `peak_bytes - baseline_bytes` is the
+    /// region's own contribution to the peak — use it when the caller
+    /// holds long-lived state (an output model, a dictionary) that must
+    /// not be charged to the measured region.
+    pub baseline_bytes: u64,
+}
+
+impl AllocStats {
+    /// Peak live bytes attributable to the region itself: the watermark
+    /// minus whatever was already live when the region started (the
+    /// same subtraction spans apply to their `alloc_peak_bytes`).
+    pub fn region_peak_bytes(&self) -> u64 {
+        self.peak_bytes.saturating_sub(self.baseline_bytes)
+    }
 }
 
 /// Run `f` with the peak watermark reset, returning its result plus the
@@ -112,11 +126,13 @@ pub struct AllocStats {
 /// watermark is global): call this serially only.
 pub fn measure<R>(f: impl FnOnce() -> R) -> (R, AllocStats) {
     reset_peak();
+    let baseline_bytes = live_bytes();
     let before = events();
     let r = std::hint::black_box(f());
     let stats = AllocStats {
         events: events().saturating_sub(before),
         peak_bytes: peak_bytes(),
+        baseline_bytes,
     };
     (r, stats)
 }

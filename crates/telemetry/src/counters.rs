@@ -55,10 +55,16 @@ pub enum Counter {
     /// `CtxCache` lookups that had to admit a fresh context (including
     /// any eviction that made room for it).
     CtxLruMisses,
+    /// Shard chunks ingested into per-shard DCF-trees during sharded
+    /// Phase 1 (`limbo::phase1_sharded`), one per chunk built.
+    ShardIngests,
+    /// DCF-tree merges during sharded Phase 1: shard trees folded into
+    /// the final tree by leaf re-insertion, one per shard tree merged.
+    TreeMerges,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 16;
+pub const N_COUNTERS: usize = 18;
 
 /// All counters, in index order. `COUNTERS[c as usize] == c` for every
 /// counter `c`.
@@ -79,6 +85,8 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::ViewCacheHits,
     Counter::CtxLruHits,
     Counter::CtxLruMisses,
+    Counter::ShardIngests,
+    Counter::TreeMerges,
 ];
 
 impl Counter {
@@ -101,6 +109,8 @@ impl Counter {
             Counter::ViewCacheHits => "view_cache_hits",
             Counter::CtxLruHits => "ctx_lru_hits",
             Counter::CtxLruMisses => "ctx_lru_misses",
+            Counter::ShardIngests => "shard_ingests",
+            Counter::TreeMerges => "tree_merges",
         }
     }
 }

@@ -86,3 +86,40 @@ fn bad_usage_exits_nonzero() {
     assert!(!ok2);
     assert!(stderr.contains("cannot read"));
 }
+
+#[test]
+fn sharded_runs_are_byte_identical_to_classic() {
+    // The demo relation fits one auto chunk, so every shard-worker
+    // count — and the classic unsharded build — must print the same
+    // bytes.
+    let csv = write_demo_csv();
+    let path = csv.to_str().unwrap();
+    let (classic, _, ok) = run(&["duplicates", path, "--phi-t", "0.0"]);
+    assert!(ok);
+    for shards in ["0", "1", "4"] {
+        let (sharded, stderr, ok) =
+            run(&["duplicates", path, "--phi-t", "0.0", "--shards", shards]);
+        assert!(ok, "stderr: {stderr}");
+        assert_eq!(sharded, classic, "--shards {shards} output drifted");
+    }
+    let (analyze_classic, _, _) = run(&["analyze", path]);
+    let (analyze_sharded, _, _) = run(&["analyze", path, "--shards", "2"]);
+    assert_eq!(analyze_sharded, analyze_classic);
+}
+
+#[test]
+fn invalid_shards_value_is_a_typed_error() {
+    let csv = write_demo_csv();
+    for bad in ["four", "-1", "1.5"] {
+        // `fds` never reaches Phase 1, but a malformed --shards must
+        // still be the same typed error, not silently ignored.
+        for cmd in ["duplicates", "fds"] {
+            let (_, stderr, ok) = run(&[cmd, csv.to_str().unwrap(), "--shards", bad]);
+            assert!(!ok, "{cmd} --shards {bad} must fail");
+            assert!(
+                stderr.contains(&format!("error: invalid value for --shards: `{bad}`")),
+                "stderr: {stderr}"
+            );
+        }
+    }
+}

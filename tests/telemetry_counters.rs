@@ -14,7 +14,9 @@ use dbmine::infotheory::SparseDist;
 use dbmine::limbo::LimboParams;
 use dbmine::relation::paper::figure4;
 use dbmine::relation::{AttrSet, RelationBuilder};
-use dbmine::summaries::{cluster_values_ctx, tuple_summary_assignment_ctx};
+use dbmine::summaries::{
+    cluster_values_ctx, find_duplicate_tuples_ctx, tuple_summary_assignment_ctx,
+};
 use dbmine::telemetry::{self, Counter, CounterSnapshot};
 use std::sync::Mutex;
 
@@ -168,6 +170,31 @@ fn analyze_builds_each_shared_view_exactly_once() {
     let again = miner.analyze_ctx(&ctx);
     assert_eq!(ctx.view_stats().builds, expected);
     assert_eq!(report.render(&rel), again.render(&rel));
+}
+
+#[test]
+fn sharded_phase1_counts_ingests_and_merges_exactly() {
+    let rel = figure4();
+    let ctx = AnalysisCtx::of(&rel);
+
+    // Through the user-facing path: figure 4's five tuples fit one auto
+    // chunk, so a sharded duplicates run ingests exactly one shard and
+    // the merge stage never runs (single-chunk ≡ classic build).
+    let (_, d) =
+        with_deltas(|| find_duplicate_tuples_ctx(&ctx, LimboParams::with_phi(0.0).shards(Some(4))));
+    assert_eq!(d.get(Counter::ShardIngests), expect(1));
+    assert_eq!(d.get(Counter::TreeMerges), 0);
+
+    // An explicit 3-chunk plan (5 objects, chunks of 2) ingests three
+    // shards, and the merge stage re-inserts all three shard trees.
+    let objects = dbmine::limbo::tuple_dcfs(&rel);
+    let mi = ctx.tuple_mutual_information();
+    let plan = dbmine::limbo::ShardPlan::with_chunk_size(objects.len(), 2);
+    let (_, d) = with_deltas(|| {
+        dbmine::limbo::phase1_sharded(&objects, mi, LimboParams::with_phi(0.0), &plan, 1)
+    });
+    assert_eq!(d.get(Counter::ShardIngests), expect(3));
+    assert_eq!(d.get(Counter::TreeMerges), expect(3));
 }
 
 #[test]
