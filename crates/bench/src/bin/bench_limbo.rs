@@ -5,12 +5,14 @@
 //! trajectory for the clustering subsystem (see EXPERIMENTS.md).
 //!
 //! ```text
-//! cargo run --release -p dbmine-bench --bin bench_limbo [--quick|--smoke] [--out PATH]
+//! cargo run --release -p dbmine-bench --bin bench_limbo [--quick|--smoke|--scale8] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks workloads and sample counts; `--smoke` additionally
 //! redirects the output to `results/BENCH_limbo.smoke.json` so a CI run
-//! never clobbers the committed trajectory. Before timing anything the
+//! never clobbers the committed trajectory; `--scale8` runs only the
+//! scaling column at 10⁸ tuples (hours on one core — see
+//! EXPERIMENTS.md) into `results/BENCH_limbo.scale8.json`. Before timing anything the
 //! runner asserts the arena tree is bit-identical to the reference and
 //! the pipeline is bit-identical across thread counts.
 
@@ -133,6 +135,17 @@ struct ScalePoint {
     leaves: usize,
     gen_ms: f64,
     scan_ms: f64,
+    /// The fused spill-on-scan pass (`scan_csv_path_spill`): one CSV
+    /// parse that also writes the binary shard store.
+    spill_ms: f64,
+    /// Bytes of the `.dbss` store on disk.
+    store_bytes: u64,
+    /// One full chunk pass re-parsing the CSV (the pre-store cost of
+    /// *every* later pass).
+    csv_pass_ms: f64,
+    /// One full chunk pass decoding the store (the post-store cost).
+    store_pass_ms: f64,
+    /// Phase 1 over the store-backed source (two store passes).
     phase1_ms: f64,
     allocs: u64,
     peak_bytes: u64,
@@ -141,11 +154,14 @@ struct ScalePoint {
     shard_ingests: u64,
     tree_merges: u64,
     dcf_merges: u64,
+    spill_chunks_written: u64,
+    spill_chunks_read: u64,
 }
 
 /// Streams one CSV of `n` tuples through the out-of-core Phase 1 and
 /// measures it; at the smallest size the sharded result is gated
-/// bit-identical across worker counts and against the in-memory build.
+/// bit-identical across worker counts, across the CSV-repass vs
+/// store-backed chunk sources, and against the in-memory build.
 fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint> {
     let params = LimboParams::with_phi(4.0).shards(Some(2));
     let dir = std::env::temp_dir().join("dbmine_bench_scaling");
@@ -154,6 +170,7 @@ fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint
     println!();
     for (i, &n) in sizes.iter().enumerate() {
         let path = dir.join(format!("dblp_{n}.csv"));
+        let store_path = dir.join(format!("dblp_{n}.dbss"));
         let spec = DblpSpec::scaled(n, 2004);
 
         let start = Instant::now();
@@ -165,10 +182,41 @@ fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint
         let scan_ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(sharded.n_tuples(), n, "generator/scan tuple count");
 
+        // The fused spill-on-scan: one more CSV parse, writing the
+        // dictionary-encoded store as it goes. Every pass after this
+        // line is a block decode.
+        let spill_before = telemetry::snapshot();
+        let start = Instant::now();
+        let spilled =
+            ShardedRelation::scan_csv_path_spill(&path, 0, &store_path).expect("spill scaling CSV");
+        let spill_ms = start.elapsed().as_secs_f64() * 1e3;
+        let spill_chunks_written = telemetry::snapshot()
+            .delta(&spill_before)
+            .get(Counter::SpillChunksWritten);
+        let store_bytes = std::fs::metadata(&store_path)
+            .expect("store metadata")
+            .len();
+        assert_eq!(spilled.content_hash(), sharded.content_hash(), "spill hash");
+
+        // The tentpole measurement: one full chunk pass, CSV re-parse
+        // vs store decode. This is the cost every later pass (MI fold,
+        // DCF build, any future lattice sweep) pays per pass.
+        let drain = |src: &ShardedRelation| {
+            let start = Instant::now();
+            let mut rows = 0usize;
+            for chunk in src.chunks().expect("open chunk pass") {
+                rows += std::hint::black_box(chunk.expect("chunk").n_rows());
+            }
+            assert_eq!(rows, n, "chunk pass row count");
+            start.elapsed().as_secs_f64() * 1e3
+        };
+        let csv_pass_ms = drain(&sharded);
+        let store_pass_ms = drain(&spilled);
+
         let before = telemetry::snapshot();
         let start = Instant::now();
         let ((mi, model), stats) =
-            telemetry::alloc::measure(|| phase1_csv_path(&sharded, params).expect("phase1_csv"));
+            telemetry::alloc::measure(|| phase1_csv_path(&spilled, params).expect("phase1_csv"));
         let phase1_ms = start.elapsed().as_secs_f64() * 1e3;
         let d = telemetry::snapshot().delta(&before);
 
@@ -195,7 +243,7 @@ fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint
         let mass = 1.0 / sharded.n_attrs().max(1) as f64;
         let prior = 1.0 / n.max(1) as f64;
         let mut chunk_peaks: Vec<u64> = Vec::new();
-        for chunk in sharded.chunks().expect("re-open scaling CSV") {
+        for chunk in spilled.chunks().expect("re-open scaling store") {
             let chunk = chunk.expect("chunk pass");
             let (_, s) = telemetry::alloc::measure(|| {
                 let dcfs = tuple_dcfs_for_chunk(&chunk, stride, mass, prior);
@@ -214,7 +262,10 @@ fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint
         if i == 0 {
             // Worker-count bit-identity gate on the cheapest size: the
             // shard plan is fixed by n, so every worker count must
-            // reproduce the same leaves exactly.
+            // reproduce the same leaves exactly. These runs go through
+            // the CSV-repass source while the reference (mi, model)
+            // came from the store — so this doubles as the
+            // store-vs-CSV identity gate.
             for workers in [1usize, 4] {
                 let (mi_w, model_w) =
                     phase1_csv_path(&sharded, params.shards(Some(workers))).expect("phase1_csv");
@@ -250,6 +301,10 @@ fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint
             leaves: model.leaves.len(),
             gen_ms,
             scan_ms,
+            spill_ms,
+            store_bytes,
+            csv_pass_ms,
+            store_pass_ms,
             phase1_ms,
             allocs: stats.events,
             peak_bytes: stats.peak_bytes,
@@ -258,6 +313,8 @@ fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint
             shard_ingests: d.get(Counter::ShardIngests),
             tree_merges: d.get(Counter::TreeMerges),
             dcf_merges: d.get(Counter::DcfMerges),
+            spill_chunks_written,
+            spill_chunks_read: d.get(Counter::SpillChunksRead),
         };
         println!(
             "scaling/{:<9} chunks {:>4}  phase1 {:>10.1} ms  peak {:>12} B  chunk-peak med {:>11} B  max {:>11} B  leaves {:>6}",
@@ -269,10 +326,60 @@ fn run_scaling_column(sizes: &[usize], verify_in_memory: bool) -> Vec<ScalePoint
             p.max_chunk_peak_bytes,
             p.leaves
         );
+        println!(
+            "scaling/{:<9} pass: csv {:>10.1} ms  store {:>10.1} ms  ({:.2}x)  store {:>12} B  spill {:>10.1} ms",
+            p.tuples,
+            p.csv_pass_ms,
+            p.store_pass_ms,
+            p.csv_pass_ms / p.store_pass_ms.max(1e-9),
+            p.store_bytes,
+            p.spill_ms
+        );
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&store_path);
         points.push(p);
     }
     points
+}
+
+/// Renders the scaling points as the JSON array body (rows only, no
+/// brackets) shared by the default and `--scale8` outputs.
+fn scaling_json(scaling: &[ScalePoint]) -> String {
+    let mut json = String::new();
+    for (i, p) in scaling.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"tuples\": {}, \"n_chunks\": {}, \"distinct_values\": {}, \"leaves\": {}, \
+             \"gen_ms\": {:.1}, \"scan_ms\": {:.1}, \"spill_ms\": {:.1}, \"store_bytes\": {}, \
+             \"csv_pass_ms\": {:.1}, \"store_pass_ms\": {:.1}, \"phase1_ms\": {:.1}, \
+             \"allocs\": {}, \"peak_bytes\": {}, \"max_chunk_peak_bytes\": {}, \
+             \"median_chunk_peak_bytes\": {}, \"shard_ingests\": {}, \
+             \"tree_merges\": {}, \"dcf_merges\": {}, \
+             \"spill_chunks_written\": {}, \"spill_chunks_read\": {}}}",
+            p.tuples,
+            p.n_chunks,
+            p.distinct_values,
+            p.leaves,
+            p.gen_ms,
+            p.scan_ms,
+            p.spill_ms,
+            p.store_bytes,
+            p.csv_pass_ms,
+            p.store_pass_ms,
+            p.phase1_ms,
+            p.allocs,
+            p.peak_bytes,
+            p.max_chunk_peak_bytes,
+            p.median_chunk_peak_bytes,
+            p.shard_ingests,
+            p.tree_merges,
+            p.dcf_merges,
+            p.spill_chunks_written,
+            p.spill_chunks_read
+        );
+        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    json
 }
 
 fn assert_leaves_bit_identical(a: &[dbmine::ib::Dcf], b: &[dbmine::ib::Dcf], what: &str) {
@@ -289,7 +396,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = smoke || args.iter().any(|a| a == "--quick");
-    let default_out = if smoke {
+    let scale8 = args.iter().any(|a| a == "--scale8");
+    let default_out = if scale8 {
+        "results/BENCH_limbo.scale8.json"
+    } else if smoke {
         "results/BENCH_limbo.smoke.json"
     } else {
         "results/BENCH_limbo.json"
@@ -301,6 +411,31 @@ fn main() {
         .map(String::as_str)
         .unwrap_or(default_out)
         .to_string();
+
+    if scale8 {
+        // The gated 10⁸ recipe (EXPERIMENTS.md): scaling column only,
+        // one size, no in-memory verification (the materialized
+        // relation alone would dwarf the streaming working set). On
+        // one core expect hours, dominated by the MI fold; budget
+        // ~10 GB of temp disk for the CSV + store.
+        let scaling = run_scaling_column(&[100_000_000], false);
+        let mut json = String::new();
+        json.push_str("{\n  \"bench\": \"limbo_phase1_scale8\",\n");
+        json.push_str("  \"scaling\": [\n");
+        json.push_str(&scaling_json(&scaling));
+        json.push_str("  ]\n}\n");
+        if let Some(dir) = std::path::Path::new(&out_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&out_path, &json) {
+            Ok(()) => println!("\nwrote {out_path}"),
+            Err(e) => {
+                eprintln!("cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let (sizes, samples): (&[usize], usize) = if quick {
         (&[500], 2)
@@ -557,31 +692,7 @@ fn main() {
         json.push_str(if i + 1 < allocs.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n  \"scaling\": [\n");
-    for (i, p) in scaling.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"tuples\": {}, \"n_chunks\": {}, \"distinct_values\": {}, \"leaves\": {}, \
-             \"gen_ms\": {:.1}, \"scan_ms\": {:.1}, \"phase1_ms\": {:.1}, \"allocs\": {}, \
-             \"peak_bytes\": {}, \"max_chunk_peak_bytes\": {}, \
-             \"median_chunk_peak_bytes\": {}, \"shard_ingests\": {}, \
-             \"tree_merges\": {}, \"dcf_merges\": {}}}",
-            p.tuples,
-            p.n_chunks,
-            p.distinct_values,
-            p.leaves,
-            p.gen_ms,
-            p.scan_ms,
-            p.phase1_ms,
-            p.allocs,
-            p.peak_bytes,
-            p.max_chunk_peak_bytes,
-            p.median_chunk_peak_bytes,
-            p.shard_ingests,
-            p.tree_merges,
-            p.dcf_merges
-        );
-        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
-    }
+    json.push_str(&scaling_json(&scaling));
     json.push_str("  ],\n  \"telemetry\": ");
     // RunReport::to_json is a complete JSON document; embedded as a
     // sub-object its relative indentation is cosmetic only.

@@ -8,11 +8,16 @@
 //! dbmine redesign   <file.csv> [--steps N]
 //! ```
 //!
+//! The input may also be a binary shard store (`file.dbss`, see
+//! `dbmine::relation::spill`) — written by an earlier `--spill PATH`
+//! run — which loads with zero re-tokenization and zero dictionary
+//! hashing and produces byte-identical output to the CSV it spilled.
+//!
 //! Every command body lives in [`dbmine::render`], shared with the
 //! `dbmined` daemon — the two front ends print byte-identical output.
 
 use dbmine::relation::csv::read_relation_path;
-use dbmine::relation::Relation;
+use dbmine::relation::{Relation, ShardedRelation};
 use dbmine::render;
 use dbmine::telemetry;
 use dbmine::{context::AnalysisCtx, MinerConfig};
@@ -53,6 +58,11 @@ fn usage() -> ! {
          \x20              workers (0 = all cores; omit for the classic\n\
          \x20              single-pass build; output is byte-identical\n\
          \x20              for every shard count)\n\
+         \x20 --spill P    spill the scanned CSV into a binary shard\n\
+         \x20              store at P while loading; pass P (a .dbss\n\
+         \x20              file) as the input of later runs to skip\n\
+         \x20              CSV parsing entirely. Sharded runs without\n\
+         \x20              --spill use a temporary store automatically\n\
          \x20 --profile P  write a telemetry run report (spans, counters,\n\
          \x20              allocations) as JSON to path P, or print the\n\
          \x20              human-readable report to stderr with `-`"
@@ -115,22 +125,102 @@ impl Args {
     }
 }
 
+fn loaded_line(r: &Relation) {
+    eprintln!(
+        "loaded {}: {} tuples × {} attributes, {} distinct values",
+        r.name(),
+        r.n_tuples(),
+        r.n_attrs(),
+        r.distinct_value_count()
+    );
+}
+
 fn load(path: &str) -> Relation {
     match read_relation_path(path) {
         Ok(r) => {
-            eprintln!(
-                "loaded {}: {} tuples × {} attributes, {} distinct values",
-                r.name(),
-                r.n_tuples(),
-                r.n_attrs(),
-                r.distinct_value_count()
-            );
+            loaded_line(&r);
             r
         }
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
             exit(1);
         }
+    }
+}
+
+/// Materializes the in-memory relation from a store-backed scan — a
+/// zero-parse block decode, byte-identical to loading the original CSV.
+fn materialize_store(store: &ShardedRelation) -> Relation {
+    match store.materialize() {
+        Ok(r) => {
+            loaded_line(&r);
+            r
+        }
+        Err(e) => {
+            eprintln!("error: cannot decode shard store: {e}");
+            exit(1);
+        }
+    }
+}
+
+/// Loads the primary input: a binary shard store directly (`.dbss`), a
+/// CSV spilled to a store on the way in (`--spill PATH`, or an
+/// automatic temporary store when `--shards` selects sharded ingest),
+/// or a plain CSV read. All four paths yield the same relation —
+/// same ids, same content hash, byte-identical command output.
+fn load_input(args: &Args) -> Relation {
+    let path = args.path.as_str();
+    let spill = args.flags.get("spill").cloned();
+    if path.ends_with(".dbss") {
+        if spill.is_some() {
+            eprintln!("error: --spill expects CSV input; {path} is already a shard store");
+            exit(2);
+        }
+        let store = match ShardedRelation::open_store(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                exit(1);
+            }
+        };
+        return materialize_store(&store);
+    }
+    let spill_to = |store_path: &std::path::Path| -> ShardedRelation {
+        match ShardedRelation::scan_csv_path_spill(path, 0, store_path) {
+            Ok(s) => {
+                eprintln!(
+                    "spilled {} chunks to {}",
+                    s.n_chunks(),
+                    store_path.display()
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("error: cannot spill {path}: {e}");
+                exit(1);
+            }
+        }
+    };
+    if let Some(store_path) = spill {
+        materialize_store(&spill_to(std::path::Path::new(&store_path)))
+    } else if args.flags.contains_key("shards") {
+        // Sharded ingest without an explicit store: spill once into a
+        // temporary store so every later pass is a block decode, then
+        // drop the store with the process.
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("relation")
+            .to_string();
+        let store_path = std::env::temp_dir().join(format!(
+            "dbmine_autospill_{}_{stem}.dbss",
+            std::process::id()
+        ));
+        let rel = materialize_store(&spill_to(&store_path));
+        let _ = std::fs::remove_file(&store_path);
+        rel
+    } else {
+        load(path)
     }
 }
 
@@ -155,7 +245,7 @@ fn main() {
     }
     match args.command.as_str() {
         "analyze" => {
-            let ctx = AnalysisCtx::from(load(&args.path));
+            let ctx = AnalysisCtx::from(load_input(&args));
             let config = render::analyze_config(
                 args.f64_flag("phi-t"),
                 args.f64_flag("phi-v"),
@@ -167,7 +257,7 @@ fn main() {
             print!("{}", render::run_analyze(&ctx, &config));
         }
         "duplicates" => {
-            let ctx = AnalysisCtx::from(load(&args.path));
+            let ctx = AnalysisCtx::from(load_input(&args));
             let phi = args.f64_flag("phi-t").unwrap_or(0.1);
             print!(
                 "{}",
@@ -175,7 +265,7 @@ fn main() {
             );
         }
         "fds" => {
-            let ctx = AnalysisCtx::from(load(&args.path));
+            let ctx = AnalysisCtx::from(load_input(&args));
             print!(
                 "{}",
                 render::run_fds(
@@ -187,12 +277,12 @@ fn main() {
             );
         }
         "mvds" => {
-            let rel = load(&args.path);
+            let rel = load_input(&args);
             let max_lhs = args.usize_flag("max-lhs").unwrap_or(2);
             print!("{}", render::run_mvds(&rel, max_lhs));
         }
         "joins" => {
-            let left = load(&args.path);
+            let left = load_input(&args);
             let right_path = args
                 .flags
                 .get("with")
@@ -205,7 +295,7 @@ fn main() {
             print!("{}", render::run_joins(&left, &right));
         }
         "partition" => {
-            let ctx = AnalysisCtx::from(load(&args.path));
+            let ctx = AnalysisCtx::from(load_input(&args));
             let phi = args.f64_flag("phi-t").unwrap_or(0.5);
             print!(
                 "{}",
@@ -219,7 +309,7 @@ fn main() {
             );
         }
         "redesign" => {
-            let ctx = AnalysisCtx::from(load(&args.path));
+            let ctx = AnalysisCtx::from(load_input(&args));
             let steps = args.usize_flag("steps").unwrap_or(3);
             let config = MinerConfig {
                 threads: args.threads(),

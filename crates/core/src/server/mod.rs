@@ -189,10 +189,35 @@ impl Daemon {
 
     fn run_relation_cmd(&self, req: &Request) -> Result<Body, String> {
         let _span = span_for(&req.cmd);
-        let rel = req.load_relation()?;
-        let hash = rel.content_hash();
-        let (name, tuples, attrs) = (rel.name().to_string(), rel.n_tuples(), rel.n_attrs());
-        let (ctx, cached) = self.cache.get_or_insert_relation(rel);
+        let (name, tuples, attrs, hash, ctx, cached) = if let Some(path) = req.store_path() {
+            // Store-backed relation: the footer read is cheap metadata
+            // validation, and the LRU key is the *stored* content hash —
+            // a warm hit never decodes a single block.
+            let store = dbmine_relation::ShardedRelation::open_store(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            if store.n_attrs() == 0 {
+                return Err("relation has no columns".to_string());
+            }
+            if store.n_tuples() == 0 {
+                return Err("relation has no rows".to_string());
+            }
+            let hash = store.content_hash();
+            let (name, tuples, attrs) =
+                (store.name().to_string(), store.n_tuples(), store.n_attrs());
+            let (ctx, cached) = self.cache.get_or_insert_with(hash, || {
+                store
+                    .materialize()
+                    .map(AnalysisCtx::from)
+                    .map_err(|e| format!("cannot decode {path}: {e}"))
+            })?;
+            (name, tuples, attrs, hash, ctx, cached)
+        } else {
+            let rel = req.load_relation()?;
+            let hash = rel.content_hash();
+            let (name, tuples, attrs) = (rel.name().to_string(), rel.n_tuples(), rel.n_attrs());
+            let (ctx, cached) = self.cache.get_or_insert_relation(rel);
+            (name, tuples, attrs, hash, ctx, cached)
+        };
         let output = run_command(req, &ctx)?;
         Ok(Body {
             cmd: req.cmd.clone(),
@@ -399,6 +424,14 @@ impl Request {
             steps,
             profile,
         })
+    }
+
+    /// The request's `path`, when it names a binary shard store
+    /// (`.dbss`) rather than a CSV file.
+    fn store_path(&self) -> Option<&str> {
+        self.path
+            .as_deref()
+            .filter(|p| self.csv.is_none() && p.ends_with(".dbss"))
     }
 
     fn load_relation(&self) -> Result<Relation, String> {
@@ -669,6 +702,56 @@ mod tests {
                     .to_string()
             };
             assert_eq!(out(&classic), out(&sharded), "cmd {cmd}");
+        }
+    }
+
+    #[test]
+    fn store_backed_request_shares_cache_and_output_with_csv() {
+        let dir = std::env::temp_dir().join("dbmine_daemon_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join(format!("fig4_{}.csv", std::process::id()));
+        let store_path = dir.join(format!("fig4_{}.dbss", std::process::id()));
+        std::fs::write(&csv_path, figure4_csv()).unwrap();
+        let spilled =
+            dbmine_relation::ShardedRelation::scan_csv_path_spill(&csv_path, 0, &store_path)
+                .unwrap();
+
+        let d = Daemon::new(4);
+        let by_path =
+            |p: &std::path::Path| format!("{{\"cmd\":\"analyze\",\"path\":\"{}\"}}", p.display());
+        let cold = parse(&d.handle_line(&by_path(&csv_path)).line).unwrap();
+        let store = parse(&d.handle_line(&by_path(&store_path)).line).unwrap();
+        assert_eq!(cold.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(store.get("ok"), Some(&Json::Bool(true)));
+        // The store request is keyed by the *stored* content hash, so it
+        // must warm-hit the entry the CSV request built — zero decodes —
+        // and produce byte-identical output.
+        assert_eq!(store.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(store.get("output"), cold.get("output"));
+        assert_eq!(store.get("relation"), cold.get("relation"));
+        let hash = store
+            .get("relation")
+            .and_then(|v| v.get("content_hash"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(hash, format!("{:016x}", spilled.content_hash()));
+
+        // A corrupted store is a protocol error, not a panic, and the
+        // daemon keeps serving afterwards.
+        let mut bytes = std::fs::read(&store_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let bad_path = dir.join(format!("fig4_{}_bad.dbss", std::process::id()));
+        std::fs::write(&bad_path, bytes).unwrap();
+        let bad = parse(&d.handle_line(&by_path(&bad_path)).line).unwrap();
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(bad.get("error").and_then(Json::as_str).is_some());
+        let again = parse(&d.handle_line(&by_path(&store_path)).line).unwrap();
+        assert_eq!(again.get("ok"), Some(&Json::Bool(true)));
+
+        for p in [&csv_path, &store_path, &bad_path] {
+            std::fs::remove_file(p).ok();
         }
     }
 

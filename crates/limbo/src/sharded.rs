@@ -38,7 +38,9 @@ use crate::tree::DcfTree;
 use dbmine_ib::Dcf;
 use dbmine_parallel::par_map_coarse;
 use dbmine_relation::csv::CsvError;
-use dbmine_relation::{tuple_mutual_information_chunks, ShardedRelation};
+use dbmine_relation::{
+    tuple_mutual_information_chunks, ChunkSource, ReaderChunkSource, ShardedRelation,
+};
 use dbmine_telemetry::{counter_add, Counter};
 use std::ops::Range;
 
@@ -269,8 +271,13 @@ pub fn phase1_auto(objects: &[Dcf], mutual_information: f64, params: LimboParams
     }
 }
 
-/// Fully out-of-core Phase 1 over a scanned CSV relation: two more
-/// streaming passes over the source, never materializing the relation.
+/// Fully out-of-core Phase 1 over any chunk source: two more streaming
+/// passes, never materializing the relation. A source is a scanned
+/// relation plus a way to open fresh passes ([`ChunkSource`]) — a CSV
+/// re-parse, a binary shard store block decode
+/// ([`ShardedRelation::open_store`]), or an arbitrary re-openable
+/// reader; all three run this one code path and, for the same content,
+/// produce bit-identical output.
 ///
 /// * **Pass 2** — [`tuple_mutual_information_chunks`] folds `I(T;V)`
 ///   over a fresh chunk stream (bit-identical to the in-memory
@@ -282,26 +289,18 @@ pub fn phase1_auto(objects: &[Dcf], mutual_information: f64, params: LimboParams
 ///   of chunks plus the accumulated shard leaves — bounded by the chunk
 ///   size, never by `n`.
 ///
-/// `open` must yield a fresh reader over the **same bytes** the scan
-/// pass consumed (it is called once per pass; changed input is detected
-/// and reported as a typed error). `params.shards` gives the shard
-/// workers (`None` → 1); when the scan chunk size is the default, the
-/// chunking equals [`ShardPlan::auto`], so the result is bit-identical
-/// to loading the relation in memory and running [`phase1_auto`] with
-/// the same `params` — pinned by tests.
+/// `params.shards` gives the shard workers (`None` → 1); when the scan
+/// chunk size is the default, the chunking equals [`ShardPlan::auto`],
+/// so the result is bit-identical to loading the relation in memory and
+/// running [`phase1_auto`] with the same `params` — pinned by tests.
 ///
 /// Returns the streamed `I(T;V)` alongside the Phase 1 model.
-pub fn phase1_csv<R, F>(
-    sharded: &ShardedRelation,
-    mut open: F,
+pub fn phase1_source<S: ChunkSource>(
+    source: &S,
     params: LimboParams,
-) -> Result<(f64, LimboModel), CsvError>
-where
-    R: std::io::Read,
-    F: FnMut() -> Result<R, CsvError>,
-{
-    let mutual_information =
-        tuple_mutual_information_chunks(sharded, sharded.chunks_from(open()?))?;
+) -> Result<(f64, LimboModel), CsvError> {
+    let sharded = source.relation();
+    let mutual_information = tuple_mutual_information_chunks(sharded, source.open_pass()?)?;
     let n = sharded.n_tuples();
     let m = sharded.n_attrs();
     let workers = params.shards.unwrap_or(1);
@@ -312,7 +311,7 @@ where
         let mass = 1.0 / m as f64;
         let prior = 1.0 / n as f64;
         let mut batch: Vec<Vec<Dcf>> = Vec::with_capacity(batch_size);
-        for chunk in sharded.chunks_from(open()?) {
+        for chunk in source.open_pass()? {
             let chunk = chunk?;
             batch.push(crate::input::tuple_dcfs_for_chunk(
                 &chunk, stride, mass, prior,
@@ -327,18 +326,32 @@ where
     Ok((mutual_information, driver.finish()))
 }
 
-/// [`phase1_csv`] over a path-backed scan
-/// ([`ShardedRelation::scan_csv_path`]): re-opens the file for each
-/// pass.
+/// [`phase1_source`] over an explicit reader factory: `open` must yield
+/// a fresh reader over the **same bytes** the scan pass consumed (it is
+/// called once per pass; changed input is detected and reported as a
+/// typed error).
+pub fn phase1_csv<R, F>(
+    sharded: &ShardedRelation,
+    open: F,
+    params: LimboParams,
+) -> Result<(f64, LimboModel), CsvError>
+where
+    R: std::io::Read,
+    F: Fn() -> Result<R, CsvError>,
+{
+    phase1_source(&ReaderChunkSource::new(sharded, open), params)
+}
+
+/// [`phase1_source`] over a file-backed scan: a CSV re-parse per pass
+/// for [`ShardedRelation::scan_csv_path`] relations, a zero-parse block
+/// decode per pass for store-backed ones
+/// ([`ShardedRelation::open_store`] /
+/// [`ShardedRelation::scan_csv_path_spill`]).
 pub fn phase1_csv_path(
     sharded: &ShardedRelation,
     params: LimboParams,
 ) -> Result<(f64, LimboModel), CsvError> {
-    let path = sharded
-        .path()
-        .expect("scan_csv_path-backed relation")
-        .to_path_buf();
-    phase1_csv(sharded, || Ok(std::fs::File::open(&path)?), params)
+    phase1_source(sharded, params)
 }
 
 #[cfg(test)]
@@ -666,6 +679,48 @@ mod tests {
         assert_bit_identical(&model.leaves, &auto.leaves, "default chunking ≡ auto");
         let classic = phase1(objects.iter().cloned(), mi_ref, objects.len(), params);
         assert_bit_identical(&model.leaves, &classic.leaves, "single chunk ≡ classic");
+    }
+
+    #[test]
+    fn store_backed_phase1_is_bit_identical_across_shard_counts() {
+        // The store-backed chunk pass must drive Phase 1 to *exactly*
+        // the output of the CSV re-parse pass and of the in-memory
+        // sharded build — for several chunk sizes, φ values and worker
+        // counts, through the one source-agnostic `phase1_source` path.
+        use dbmine_relation::csv::read_relation;
+        use dbmine_relation::TupleRows;
+
+        let dir = std::env::temp_dir().join("dbmine_limbo_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let n = 400;
+        let csv = synthetic_csv(n);
+        let csv_path = dir.join("synth.csv");
+        std::fs::write(&csv_path, &csv).unwrap();
+        let rel = read_relation(csv.as_bytes(), "synth").unwrap();
+        let objects = crate::input::tuple_dcfs(&rel);
+        let mi_ref = TupleRows::build(&rel).mutual_information();
+        for chunk in [64usize, 150] {
+            let store_path = dir.join(format!("synth_{chunk}.dbss"));
+            let stored =
+                ShardedRelation::scan_csv_path_spill(&csv_path, chunk, &store_path).unwrap();
+            assert!(stored.is_store_backed());
+            let plain = ShardedRelation::scan_csv_path(&csv_path, chunk).unwrap();
+            for phi in [0.0, 1.0, 4.0] {
+                for workers in [1usize, 2, 4] {
+                    let params = LimboParams::with_phi(phi).shards(Some(workers));
+                    let (mi_store, from_store) = phase1_csv_path(&stored, params).unwrap();
+                    let (mi_csv, from_csv) = phase1_csv_path(&plain, params).unwrap();
+                    assert_eq!(mi_store.to_bits(), mi_ref.to_bits());
+                    assert_eq!(mi_csv.to_bits(), mi_store.to_bits());
+                    let plan = ShardPlan::with_chunk_size(n, chunk);
+                    let reference = phase1_sharded(&objects, mi_ref, params, &plan, workers);
+                    let what = format!("store chunk={chunk} phi={phi} workers={workers}");
+                    assert_bit_identical(&from_store.leaves, &reference.leaves, &what);
+                    assert_bit_identical(&from_store.leaves, &from_csv.leaves, &what);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

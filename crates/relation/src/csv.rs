@@ -6,9 +6,10 @@
 //! survive a round-trip.
 
 use crate::relation::{Relation, RelationBuilder};
+use crate::spill::StoreError;
 use std::fmt;
 use std::io::{BufReader, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Errors produced by the CSV reader.
 #[derive(Debug)]
@@ -28,6 +29,38 @@ pub enum CsvError {
     /// The header has more columns than [`crate::attrset::MAX_ATTRS`]
     /// (attribute sets are 64-bit masks).
     TooManyAttrs { got: usize, max: usize },
+    /// Error reading a binary columnar shard store ([`crate::spill`]).
+    Store(StoreError),
+    /// A chunk pass saw different bytes than the scan pass (the file
+    /// was modified between passes): a value missing from the frozen
+    /// dictionary, a changed header, or a changed tuple count.
+    ChangedInput {
+        /// 1-based line of the offending record, where known.
+        line: Option<usize>,
+        detail: String,
+    },
+    /// An error with the source file attached. Line numbers, where
+    /// known, stay on the wrapped error — the `Display` output is
+    /// `path: line N: …`, so a mid-pass failure on a 10⁷-row file names
+    /// the exact file and record.
+    InFile {
+        path: PathBuf,
+        source: Box<CsvError>,
+    },
+}
+
+impl CsvError {
+    /// Wraps `self` with the file it came from. Already-wrapped errors
+    /// keep their original (innermost-pass) path.
+    pub fn in_file(self, path: impl Into<PathBuf>) -> CsvError {
+        match self {
+            CsvError::InFile { .. } => self,
+            other => CsvError::InFile {
+                path: path.into(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for CsvError {
@@ -46,15 +79,36 @@ impl fmt::Display for CsvError {
             CsvError::TooManyAttrs { got, max } => {
                 write!(f, "header has {got} columns; at most {max} supported")
             }
+            CsvError::Store(e) => write!(f, "shard store: {e}"),
+            CsvError::ChangedInput { line, detail } => {
+                let at = line.map(|l| format!("line {l}: ")).unwrap_or_default();
+                write!(f, "{at}CSV changed between scan and chunk passes: {detail}")
+            }
+            CsvError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
         }
     }
 }
 
-impl std::error::Error for CsvError {}
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Store(e) => Some(e),
+            CsvError::InFile { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for CsvError {
     fn from(e: std::io::Error) -> Self {
         CsvError::Io(e)
+    }
+}
+
+impl From<StoreError> for CsvError {
+    fn from(e: StoreError) -> Self {
+        CsvError::Store(e)
     }
 }
 

@@ -30,6 +30,7 @@ pub mod paper;
 pub mod partition;
 pub mod relation;
 pub mod shard;
+pub mod spill;
 pub mod stats;
 
 pub use attrset::AttrSet;
@@ -39,6 +40,7 @@ pub use matrix::{qualified_row, qualified_stride, TupleRows, ValueIndex};
 pub use partition::{PartitionScratch, StrippedPartition};
 pub use relation::{AttrId, Relation, RelationBuilder};
 pub use shard::{
-    tuple_mutual_information_chunks, CsvChunks, CsvRecordStream, RelationChunk, ShardedRelation,
-    DEFAULT_CHUNK_TUPLES,
+    tuple_mutual_information_chunks, ChunkSource, Chunks, CsvChunks, CsvRecordStream,
+    ReaderChunkSource, RelationChunk, ShardedRelation, DEFAULT_CHUNK_TUPLES,
 };
+pub use spill::{SpillWriter, StoreChunks, StoreError, StoreFooter};

@@ -24,6 +24,27 @@ pub struct Relation {
 }
 
 impl Relation {
+    /// Assembles a relation from already-validated parts — the
+    /// store-backed materialization path in [`crate::shard`], which has
+    /// checked column count, lengths and value-id ranges block by block.
+    pub(crate) fn from_parts(
+        name: String,
+        attr_names: Vec<String>,
+        dict: ValueDict,
+        columns: Vec<Vec<ValueId>>,
+        n: usize,
+    ) -> Relation {
+        debug_assert_eq!(columns.len(), attr_names.len());
+        debug_assert!(columns.iter().all(|c| c.len() == n));
+        Relation {
+            name,
+            attr_names,
+            dict,
+            columns,
+            n,
+        }
+    }
+
     /// Number of tuples `n`.
     pub fn n_tuples(&self) -> usize {
         self.n

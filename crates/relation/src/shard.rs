@@ -32,6 +32,7 @@ use crate::csv::{header_names, normalize_row, parse_record, CsvError, Field};
 use crate::dict::{ValueDict, ValueId, NULL_VALUE};
 use crate::hash::ContentHasher;
 use crate::matrix::{qualified_row, qualified_stride};
+use crate::spill::{SpillWriter, StoreChunks, StoreError, StoreFooter};
 use dbmine_infotheory::{entropy_of, SparseDist};
 use std::io::Read;
 use std::path::{Path, PathBuf};
@@ -186,7 +187,21 @@ pub struct ShardedRelation {
     n: usize,
     content_hash: u64,
     chunk_tuples: usize,
-    path: Option<PathBuf>,
+    backing: Backing,
+}
+
+/// What a chunk pass re-reads: nothing (reader-fed scans), the scanned
+/// CSV file, or a binary shard store ([`crate::spill`]).
+#[derive(Clone, Debug)]
+enum Backing {
+    None,
+    Csv(PathBuf),
+    Store {
+        path: PathBuf,
+        /// File offset one past the last block (= the footer offset),
+        /// from the validated store metadata.
+        data_len: u64,
+    },
 }
 
 impl ShardedRelation {
@@ -225,25 +240,211 @@ impl ShardedRelation {
             } else {
                 chunk_tuples
             },
-            path: None,
+            backing: Backing::None,
         })
     }
 
     /// [`ShardedRelation::scan_csv`] over a file, remembering the path so
     /// [`ShardedRelation::chunks`] can re-open it for later passes. The
     /// file stem becomes the relation name, as in
-    /// [`crate::csv::read_relation_path`].
+    /// [`crate::csv::read_relation_path`]; errors carry the file path.
     pub fn scan_csv_path(path: impl AsRef<Path>, chunk_tuples: usize) -> Result<Self, CsvError> {
         let path = path.as_ref();
-        let name = path
-            .file_stem()
+        let name = Self::stem_name(path);
+        let file = std::fs::File::open(path).map_err(|e| CsvError::from(e).in_file(path))?;
+        let mut sharded = Self::scan_csv(file, &name, chunk_tuples).map_err(|e| e.in_file(path))?;
+        sharded.backing = Backing::Csv(path.to_path_buf());
+        Ok(sharded)
+    }
+
+    fn stem_name(path: &Path) -> String {
+        path.file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("relation")
-            .to_string();
-        let file = std::fs::File::open(path)?;
-        let mut sharded = Self::scan_csv(file, &name, chunk_tuples)?;
-        sharded.path = Some(path.to_path_buf());
-        Ok(sharded)
+            .to_string()
+    }
+
+    /// One fused pass: [`ShardedRelation::scan_csv`] that *also* spills
+    /// every chunk into the binary shard store at `store_path` as it
+    /// scans — the CSV is tokenized and dictionary-hashed exactly once,
+    /// and every later chunk pass decodes the store instead
+    /// ([`crate::spill`]). Row-major interning means each value id is
+    /// final the moment its chunk is written, so no second encoding pass
+    /// is needed. The returned relation is store-backed.
+    pub fn scan_csv_spill<R: Read>(
+        reader: R,
+        name: &str,
+        chunk_tuples: usize,
+        store_path: impl AsRef<Path>,
+    ) -> Result<Self, CsvError> {
+        let store_path = store_path.as_ref();
+        let chunk_tuples = if chunk_tuples == 0 {
+            DEFAULT_CHUNK_TUPLES
+        } else {
+            chunk_tuples
+        };
+        let mut stream = CsvRecordStream::new(reader);
+        let header = match stream.next_record()? {
+            Some(h) => h,
+            None => return Err(CsvError::Empty),
+        };
+        let attr_names = header_names(header)?;
+        let m = attr_names.len();
+        let mut dict = ValueDict::new();
+        let mut hasher = ContentHasher::new(name, &attr_names);
+        let mut n = 0usize;
+        let mut writer = SpillWriter::create(store_path)?;
+        let mut columns: Vec<Vec<ValueId>> = vec![Vec::with_capacity(chunk_tuples.min(1 << 16)); m];
+        let mut buffered = 0usize;
+        while let Some(rec) = stream.next_record()? {
+            let Some(rec) = normalize_row(rec, m, stream.line())? else {
+                continue;
+            };
+            hasher.push_row(&rec);
+            for (a, cell) in rec.iter().enumerate() {
+                columns[a].push(dict.intern_cell(cell.as_deref()));
+            }
+            n += 1;
+            buffered += 1;
+            if buffered == chunk_tuples {
+                let full = std::mem::replace(
+                    &mut columns,
+                    vec![Vec::with_capacity(chunk_tuples.min(1 << 16)); m],
+                );
+                writer.write_chunk(&RelationChunk {
+                    start: n - buffered,
+                    columns: full,
+                })?;
+                buffered = 0;
+            }
+        }
+        if buffered > 0 {
+            writer.write_chunk(&RelationChunk {
+                start: n - buffered,
+                columns: std::mem::take(&mut columns),
+            })?;
+        }
+        let content_hash = hasher.finish();
+        writer.finish(&StoreFooter {
+            name,
+            attr_names: &attr_names,
+            chunk_tuples,
+            n_tuples: n,
+            content_hash,
+            dict: &dict,
+        })?;
+        // Re-open through the validated metadata path so the backing
+        // carries the verified footer offset.
+        Self::open_store(store_path)
+    }
+
+    /// [`ShardedRelation::scan_csv_spill`] over a CSV file (file stem as
+    /// relation name, errors carrying the source path).
+    pub fn scan_csv_path_spill(
+        path: impl AsRef<Path>,
+        chunk_tuples: usize,
+        store_path: impl AsRef<Path>,
+    ) -> Result<Self, CsvError> {
+        let path = path.as_ref();
+        let name = Self::stem_name(path);
+        let file = std::fs::File::open(path).map_err(|e| CsvError::from(e).in_file(path))?;
+        Self::scan_csv_spill(file, &name, chunk_tuples, store_path).map_err(|e| e.in_file(path))
+    }
+
+    /// Spills this relation's chunks into a binary shard store at
+    /// `store_path` by running one chunk pass over the current backing,
+    /// and returns the store-backed equivalent. For CSV-backed scans
+    /// prefer the fused [`ShardedRelation::scan_csv_path_spill`], which
+    /// avoids this extra re-parse entirely.
+    pub fn spill_to(&self, store_path: impl AsRef<Path>) -> Result<ShardedRelation, CsvError> {
+        let store_path = store_path.as_ref();
+        let mut writer = SpillWriter::create(store_path)?;
+        for chunk in self.chunks()? {
+            writer.write_chunk(&chunk?)?;
+        }
+        writer.finish(&StoreFooter {
+            name: &self.name,
+            attr_names: &self.attr_names,
+            chunk_tuples: self.chunk_tuples,
+            n_tuples: self.n,
+            content_hash: self.content_hash,
+            dict: &self.dict,
+        })?;
+        Self::open_store(store_path)
+    }
+
+    /// Opens an existing binary shard store: validates magic, version,
+    /// trailer, footer checksum and counts, rebuilds the frozen
+    /// dictionary, and returns the store-backed relation. Later chunk
+    /// passes decode blocks directly — zero tokenization, zero hashing.
+    pub fn open_store(path: impl AsRef<Path>) -> Result<Self, CsvError> {
+        let path = path.as_ref();
+        let meta = crate::spill::read_meta(path).map_err(|e| CsvError::from(e).in_file(path))?;
+        Ok(ShardedRelation {
+            name: meta.name,
+            attr_names: meta.attr_names,
+            dict: meta.dict,
+            n: meta.n_tuples,
+            content_hash: meta.content_hash,
+            chunk_tuples: meta.chunk_tuples,
+            backing: Backing::Store {
+                path: path.to_path_buf(),
+                data_len: meta.data_len,
+            },
+        })
+    }
+
+    /// Fully materializes the in-memory [`crate::Relation`] from the
+    /// current backing (one chunk pass). The result is indistinguishable
+    /// from loading the original CSV with
+    /// [`crate::csv::read_relation_path`] — same ids, same content hash.
+    pub fn materialize(&self) -> Result<crate::Relation, CsvError> {
+        let m = self.n_attrs();
+        let mut columns: Vec<Vec<ValueId>> = (0..m).map(|_| Vec::with_capacity(self.n)).collect();
+        for chunk in self.chunks()? {
+            let chunk = chunk?;
+            for (a, col) in chunk.columns.iter().enumerate() {
+                columns[a].extend_from_slice(col);
+            }
+        }
+        Ok(crate::Relation::from_parts(
+            self.name.clone(),
+            self.attr_names.clone(),
+            self.dict.clone(),
+            columns,
+            self.n,
+        ))
+    }
+
+    /// Recomputes the content hash from the backing's chunks and checks
+    /// it against the one recorded at scan time. For store-backed
+    /// relations this is the end-to-end integrity check: a store whose
+    /// blocks decode cleanly but describe different content (e.g. a
+    /// forged or mismatched footer hash) yields a typed
+    /// [`StoreError::ContentHashMismatch`].
+    pub fn verify_content(&self) -> Result<(), CsvError> {
+        let mut hasher = ContentHasher::new(&self.name, &self.attr_names);
+        let mut row: Vec<Option<&str>> = Vec::with_capacity(self.n_attrs());
+        for chunk in self.chunks()? {
+            let chunk = chunk?;
+            for t in 0..chunk.n_rows() {
+                row.clear();
+                row.extend(
+                    chunk
+                        .row_values(t)
+                        .map(|v| (v != NULL_VALUE).then(|| self.dict.string(v))),
+                );
+                hasher.push_row(&row);
+            }
+        }
+        let found = hasher.finish();
+        if found != self.content_hash {
+            return Err(CsvError::Store(StoreError::ContentHashMismatch {
+                expected: self.content_hash,
+                found,
+            }));
+        }
+        Ok(())
     }
 
     /// Relation name.
@@ -283,9 +484,27 @@ impl ShardedRelation {
         self.chunk_tuples
     }
 
-    /// The backing file of a path-backed scan, if any.
+    /// The backing file (CSV or store) chunk passes re-open, if any.
     pub fn path(&self) -> Option<&Path> {
-        self.path.as_deref()
+        match &self.backing {
+            Backing::None => None,
+            Backing::Csv(p) | Backing::Store { path: p, .. } => Some(p),
+        }
+    }
+
+    /// True when chunk passes decode a binary shard store instead of
+    /// re-parsing CSV.
+    pub fn is_store_backed(&self) -> bool {
+        matches!(self.backing, Backing::Store { .. })
+    }
+
+    /// The validated footer offset of a store backing (used by the block
+    /// reader to bound block reads).
+    pub(crate) fn store_data_len(&self) -> Option<u64> {
+        match &self.backing {
+            Backing::Store { data_len, .. } => Some(*data_len),
+            _ => None,
+        }
     }
 
     /// Number of chunks a full pass yields: `ceil(n / chunk_tuples)`.
@@ -307,21 +526,125 @@ impl ShardedRelation {
         }
     }
 
-    /// A chunk pass re-opening the scanned file
-    /// ([`ShardedRelation::scan_csv_path`] loads only).
-    pub fn chunks(&self) -> Result<CsvChunks<'_, std::fs::File>, CsvError> {
-        let path = self.path.as_ref().expect(
-            "ShardedRelation::chunks needs a path-backed scan; use chunks_from for readers",
-        );
-        Ok(self.chunks_from(std::fs::File::open(path)?))
+    /// A chunk pass re-opening the backing file: a CSV re-parse for
+    /// [`ShardedRelation::scan_csv_path`] scans, a zero-parse block
+    /// decode for store-backed relations ([`ShardedRelation::open_store`]
+    /// / [`ShardedRelation::scan_csv_path_spill`]). Errors carry the
+    /// backing file's path.
+    pub fn chunks(&self) -> Result<Chunks<'_>, CsvError> {
+        match &self.backing {
+            Backing::None => panic!(
+                "ShardedRelation::chunks needs a path-backed scan; use chunks_from for readers"
+            ),
+            Backing::Csv(path) => {
+                let file =
+                    std::fs::File::open(path).map_err(|e| CsvError::from(e).in_file(path))?;
+                Ok(Chunks::Csv {
+                    inner: self.chunks_from(file),
+                    path: path.clone(),
+                })
+            }
+            Backing::Store { path, .. } => Ok(Chunks::Store(Box::new(
+                StoreChunks::open(self, path).map_err(|e| CsvError::from(e).in_file(path))?,
+            ))),
+        }
     }
 }
 
-fn changed_input_error(detail: String) -> CsvError {
-    CsvError::Io(std::io::Error::new(
-        std::io::ErrorKind::InvalidData,
-        format!("CSV changed between scan and chunk passes: {detail}"),
-    ))
+/// A chunk pass over whatever backs the relation: CSV re-parse or store
+/// block decode. Both arms yield bit-identical [`RelationChunk`]s.
+pub enum Chunks<'a> {
+    /// Re-parsing the scanned CSV file.
+    Csv {
+        inner: CsvChunks<'a, std::fs::File>,
+        path: PathBuf,
+    },
+    /// Decoding a binary shard store. Boxed: the store reader carries a
+    /// 1 MiB buffered reader and is much larger than the CSV arm.
+    Store(Box<StoreChunks<'a>>),
+}
+
+impl Iterator for Chunks<'_> {
+    type Item = Result<RelationChunk, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Chunks::Csv { inner, path } => {
+                inner.next().map(|r| r.map_err(|e| e.in_file(path.clone())))
+            }
+            Chunks::Store(inner) => inner.next(),
+        }
+    }
+}
+
+/// A relation plus a way to open fresh chunk passes over it — the
+/// abstraction that makes multi-pass consumers (`limbo::phase1_csv*`)
+/// agnostic to whether chunks come from a CSV re-parse, a binary shard
+/// store, or an arbitrary re-openable reader.
+pub trait ChunkSource {
+    /// One chunk pass (an iterator of [`RelationChunk`] results).
+    type Pass<'a>: Iterator<Item = Result<RelationChunk, CsvError>>
+    where
+        Self: 'a;
+
+    /// The scanned relation metadata (schema, dictionary, counts).
+    fn relation(&self) -> &ShardedRelation;
+
+    /// Opens a fresh pass over all chunks, starting at tuple 0.
+    fn open_pass(&self) -> Result<Self::Pass<'_>, CsvError>;
+}
+
+impl ChunkSource for ShardedRelation {
+    type Pass<'a>
+        = Chunks<'a>
+    where
+        Self: 'a;
+
+    fn relation(&self) -> &ShardedRelation {
+        self
+    }
+
+    fn open_pass(&self) -> Result<Chunks<'_>, CsvError> {
+        self.chunks()
+    }
+}
+
+/// A [`ChunkSource`] over an arbitrary re-openable reader: `open` is
+/// called once per pass and must yield the same CSV bytes the scan pass
+/// consumed.
+pub struct ReaderChunkSource<'s, F> {
+    sharded: &'s ShardedRelation,
+    open: F,
+}
+
+impl<'s, F> ReaderChunkSource<'s, F> {
+    /// Pairs a scanned relation with a reader factory.
+    pub fn new(sharded: &'s ShardedRelation, open: F) -> Self {
+        ReaderChunkSource { sharded, open }
+    }
+}
+
+impl<'s, R, F> ChunkSource for ReaderChunkSource<'s, F>
+where
+    R: Read,
+    F: Fn() -> Result<R, CsvError>,
+{
+    type Pass<'a>
+        = CsvChunks<'s, R>
+    where
+        Self: 'a;
+
+    fn relation(&self) -> &ShardedRelation {
+        self.sharded
+    }
+
+    fn open_pass(&self) -> Result<CsvChunks<'s, R>, CsvError> {
+        Ok(self.sharded.chunks_from((self.open)()?))
+    }
+}
+
+fn changed_input_error(line: Option<usize>, detail: String) -> CsvError {
+    CsvError::ChangedInput { line, detail }
 }
 
 /// Iterator over [`RelationChunk`]s of a [`ShardedRelation`] source.
@@ -344,10 +667,13 @@ impl<R: Read> CsvChunks<'_, R> {
         };
         let names = header_names(header)?;
         if names != self.sharded.attr_names {
-            return Err(changed_input_error(format!(
-                "header is {names:?}, scanned schema was {:?}",
-                self.sharded.attr_names
-            )));
+            return Err(changed_input_error(
+                Some(1),
+                format!(
+                    "header is {names:?}, scanned schema was {:?}",
+                    self.sharded.attr_names
+                ),
+            ));
         }
         self.header_done = true;
         Ok(())
@@ -362,17 +688,24 @@ impl<R: Read> CsvChunks<'_, R> {
         let mut columns: Vec<Vec<ValueId>> = vec![Vec::with_capacity(cap.min(1 << 16)); m];
         let mut rows = 0usize;
         while rows < cap {
+            // The record's own 1-based line: the stream counter points
+            // at the next unparsed position, so capture it before the
+            // parse consumes the record (and its trailing newline).
+            let record_line = self.stream.line();
             let Some(rec) = self.stream.next_record()? else {
                 break;
             };
-            let Some(rec) = normalize_row(rec, m, self.stream.line())? else {
+            let Some(rec) = normalize_row(rec, m, record_line)? else {
                 continue;
             };
             for (a, cell) in rec.iter().enumerate() {
                 let id = match cell.as_deref() {
                     None => NULL_VALUE,
                     Some(s) => self.sharded.dict.lookup(s).ok_or_else(|| {
-                        changed_input_error(format!("value {s:?} not in scanned dictionary"))
+                        changed_input_error(
+                            Some(record_line),
+                            format!("value {s:?} not in scanned dictionary"),
+                        )
                     })?,
                 };
                 columns[a].push(id);
@@ -381,20 +714,23 @@ impl<R: Read> CsvChunks<'_, R> {
         }
         if rows == 0 {
             if self.emitted != self.sharded.n {
-                return Err(changed_input_error(format!(
-                    "stream ended after {} tuples, scan saw {}",
-                    self.emitted, self.sharded.n
-                )));
+                return Err(changed_input_error(
+                    Some(self.stream.line()),
+                    format!(
+                        "stream ended after {} tuples, scan saw {}",
+                        self.emitted, self.sharded.n
+                    ),
+                ));
             }
             return Ok(None);
         }
         let start = self.emitted;
         self.emitted += rows;
         if self.emitted > self.sharded.n {
-            return Err(changed_input_error(format!(
-                "stream has more than the {} scanned tuples",
-                self.sharded.n
-            )));
+            return Err(changed_input_error(
+                Some(self.stream.line()),
+                format!("stream has more than the {} scanned tuples", self.sharded.n),
+            ));
         }
         Ok(Some(RelationChunk { start, columns }))
     }
@@ -424,10 +760,13 @@ impl<R: Read> Iterator for CsvChunks<'_, R> {
 /// content, because both fold the same conditional rows in the same
 /// order through the same marginal/entropy operations. Peak memory is
 /// the marginal accumulator plus one chunk.
-pub fn tuple_mutual_information_chunks<R: Read>(
+pub fn tuple_mutual_information_chunks<I>(
     sharded: &ShardedRelation,
-    chunks: CsvChunks<'_, R>,
-) -> Result<f64, CsvError> {
+    chunks: I,
+) -> Result<f64, CsvError>
+where
+    I: IntoIterator<Item = Result<RelationChunk, CsvError>>,
+{
     let m = sharded.n_attrs();
     let n = sharded.n_tuples();
     if n == 0 {
@@ -660,6 +999,39 @@ mod tests {
         assert_eq!(s.content_hash(), rel.content_hash());
         let rows: usize = s.chunks().unwrap().map(|c| c.unwrap().n_rows()).sum();
         assert_eq!(rows, rel.n_tuples());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunk_pass_errors_name_the_file_and_line() {
+        let dir = std::env::temp_dir().join("dbmine_shard_errctx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("ctx_{}.csv", std::process::id()));
+        std::fs::write(&path, "A,B\na,1\nb,2\nc,3\n").unwrap();
+        let s = ShardedRelation::scan_csv_path(&path, 2).unwrap();
+
+        // The input changes between passes: a cell at line 3 no longer
+        // resolves in the frozen dictionary. The error must point a
+        // human at the exact file and 1-based line.
+        std::fs::write(&path, "A,B\na,1\nMUTATED,2\nc,3\n").unwrap();
+        let err = s
+            .chunks()
+            .unwrap()
+            .find_map(Result::err)
+            .expect("changed input must error");
+        let msg = err.to_string();
+        assert!(msg.contains(&path.display().to_string()), "no path: {msg}");
+        assert!(msg.contains("line 3:"), "no line number: {msg}");
+
+        // A header change is reported at line 1.
+        std::fs::write(&path, "A,Z\na,1\nb,2\nc,3\n").unwrap();
+        let msg = s
+            .chunks()
+            .unwrap()
+            .find_map(Result::err)
+            .expect("changed header must error")
+            .to_string();
+        assert!(msg.contains("line 1:"), "no header line: {msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -61,10 +61,16 @@ pub enum Counter {
     /// DCF-tree merges during sharded Phase 1: shard trees folded into
     /// the final tree by leaf re-insertion, one per shard tree merged.
     TreeMerges,
+    /// Chunks spilled to a binary columnar shard store
+    /// (`relation::spill::SpillWriter`), one per block written.
+    SpillChunksWritten,
+    /// Chunks decoded from a binary columnar shard store
+    /// (`relation::spill::StoreChunks`), one per block read.
+    SpillChunksRead,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 18;
+pub const N_COUNTERS: usize = 20;
 
 /// All counters, in index order. `COUNTERS[c as usize] == c` for every
 /// counter `c`.
@@ -87,6 +93,8 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::CtxLruMisses,
     Counter::ShardIngests,
     Counter::TreeMerges,
+    Counter::SpillChunksWritten,
+    Counter::SpillChunksRead,
 ];
 
 impl Counter {
@@ -111,6 +119,8 @@ impl Counter {
             Counter::CtxLruMisses => "ctx_lru_misses",
             Counter::ShardIngests => "shard_ingests",
             Counter::TreeMerges => "tree_merges",
+            Counter::SpillChunksWritten => "spill_chunks_written",
+            Counter::SpillChunksRead => "spill_chunks_read",
         }
     }
 }
