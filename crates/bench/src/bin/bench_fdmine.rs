@@ -15,6 +15,7 @@ use dbmine::fdmine::{
     mine_approximate_with, mine_tane, PartitionScratch, StrippedPartition, TaneOptions,
 };
 use dbmine::relation::Relation;
+use dbmine::reliability::{mine_reliable, ReliableOptions};
 use dbmine::telemetry;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -54,6 +55,19 @@ struct Measurement {
     min_ms: f64,
 }
 
+/// One pruned-vs-unpruned comparison of the reliable miner: identical
+/// output (asserted), differing lattice traversal (recorded).
+struct ReliableStats {
+    id: String,
+    fds: usize,
+    nodes_pruned: u64,
+    nodes_unpruned: u64,
+    rfi_evals_pruned: u64,
+    rfi_evals_unpruned: u64,
+    bnb_bounds: u64,
+    bnb_prunes: u64,
+}
+
 /// Times `f` over `samples` runs (plus one untimed warmup) and records
 /// the median and minimum per-run wall clock.
 fn measure<R>(out: &mut Vec<Measurement>, id: &str, samples: usize, mut f: impl FnMut() -> R) {
@@ -77,6 +91,72 @@ fn measure<R>(out: &mut Vec<Measurement>, id: &str, samples: usize, mut f: impl 
         m.id, m.median_ms, m.min_ms
     );
     out.push(m);
+}
+
+/// Times reliable (F̂ ≥ θ) mining with branch-and-bound on and off,
+/// asserts the two configurations return bit-identical dependencies,
+/// and records the lattice-node / F̂-eval / bound counter deltas that
+/// quantify what the bound saves (EXPERIMENTS.md quotes these).
+fn reliable_compare(
+    results: &mut Vec<Measurement>,
+    stats: &mut Vec<ReliableStats>,
+    samples: usize,
+    rel: &Relation,
+    id: &str,
+    opts: ReliableOptions,
+) {
+    measure(results, id, samples, || mine_reliable(rel, opts));
+    measure(
+        results,
+        &id.replacen("reliable_", "reliable_unpruned_", 1),
+        samples,
+        || {
+            mine_reliable(
+                rel,
+                ReliableOptions {
+                    prune: false,
+                    ..opts
+                },
+            )
+        },
+    );
+    let before = telemetry::snapshot();
+    let pruned = mine_reliable(rel, opts);
+    let mid = telemetry::snapshot();
+    let unpruned = mine_reliable(
+        rel,
+        ReliableOptions {
+            prune: false,
+            ..opts
+        },
+    );
+    let after = telemetry::snapshot();
+    assert_eq!(pruned.len(), unpruned.len(), "pruning changed the FD set");
+    for (a, b) in pruned.iter().zip(&unpruned) {
+        assert_eq!(a.fd, b.fd, "pruning changed a dependency");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "pruning changed a score"
+        );
+    }
+    let dp = mid.delta(&before);
+    let du = after.delta(&mid);
+    let s = ReliableStats {
+        id: id.to_string(),
+        fds: pruned.len(),
+        nodes_pruned: dp.get(telemetry::Counter::TaneLatticeNodes),
+        nodes_unpruned: du.get(telemetry::Counter::TaneLatticeNodes),
+        rfi_evals_pruned: dp.get(telemetry::Counter::RfiEvals),
+        rfi_evals_unpruned: du.get(telemetry::Counter::RfiEvals),
+        bnb_bounds: dp.get(telemetry::Counter::BnbBounds),
+        bnb_prunes: dp.get(telemetry::Counter::BnbPrunes),
+    };
+    println!(
+        "{:<44} fds {:>3}  nodes {:>6} pruned / {:>6} unpruned  F̂ evals {:>6} / {:>6}",
+        s.id, s.fds, s.nodes_pruned, s.nodes_unpruned, s.rfi_evals_pruned, s.rfi_evals_unpruned
+    );
+    stats.push(s);
 }
 
 fn scaling_relation(n: usize) -> Relation {
@@ -114,6 +194,7 @@ fn main() {
 
     let mut results: Vec<Measurement> = Vec::new();
     let mut allocs: Vec<AllocCount> = Vec::new();
+    let mut reliable_stats: Vec<ReliableStats> = Vec::new();
     for &n in sizes {
         let rel = scaling_relation(n);
         measure(&mut results, &format!("tane/synth8/{n}"), samples, || {
@@ -138,6 +219,25 @@ fn main() {
                 },
             );
         }
+
+        // Reliable (F̂ ≥ θ) mining over the low-cardinality synthetic:
+        // fixed domain-24 attributes make the permutation bias vanish
+        // as n grows, so this column records the regime where the
+        // branch-and-bound bound has little to cut (the DBLP workload
+        // below is the one where it bites).
+        reliable_compare(
+            &mut results,
+            &mut reliable_stats,
+            samples,
+            &rel,
+            &format!("reliable_theta0.6/synth8/{n}"),
+            ReliableOptions {
+                theta: 0.6,
+                max_lhs: Some(3),
+                threads: 1,
+                prune: true,
+            },
+        );
 
         let p0 = StrippedPartition::of_attr(&rel, 0);
         let p3 = StrippedPartition::of_attr(&rel, 3);
@@ -182,12 +282,44 @@ fn main() {
         || mine_approximate_with(&noisy, 0.05, Some(2), 1),
     );
 
+    // DBLP-style relation: key-like attributes (Title, Pages, unbucketed
+    // ISBNs) carry permutation bias ≈ 1 at any scale, so their bounds
+    // fall below θ and the branch-and-bound rule cuts real lattice
+    // nodes here — this row is the pruning-effectiveness record.
+    let dblp = dbmine::datagen::dblp_sample(&if quick {
+        dbmine::datagen::DblpSpec::small()
+    } else {
+        dbmine::datagen::DblpSpec::scaled(10_000, 2004)
+    });
+    reliable_compare(
+        &mut results,
+        &mut reliable_stats,
+        samples,
+        &dblp,
+        &format!("reliable_theta0.6/dblp/{}", dblp.n_tuples()),
+        ReliableOptions {
+            theta: 0.6,
+            max_lhs: Some(2),
+            threads: 1,
+            prune: true,
+        },
+    );
+
     // One profiled representative run: the timed samples above ran with
     // span collection off, so only this window pays for span recording.
     let report = {
         let rel = scaling_relation(*sizes.last().expect("sizes non-empty"));
         telemetry::begin();
         let _ = std::hint::black_box(mine_tane(&rel, TaneOptions::default()));
+        let _ = std::hint::black_box(mine_reliable(
+            &rel,
+            ReliableOptions {
+                theta: 0.6,
+                max_lhs: Some(3),
+                threads: 1,
+                prune: true,
+            },
+        ));
         let report = telemetry::finish();
         if telemetry::compiled() {
             println!("\nprofiled tane/synth8/{}:", rel.n_tuples());
@@ -216,6 +348,28 @@ fn main() {
             c.id, c.allocs, c.peak_bytes
         );
         json.push_str(if i + 1 < allocs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"reliable\": [\n");
+    for (i, s) in reliable_stats.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"fds\": {}, \"nodes_pruned\": {}, \"nodes_unpruned\": {}, \
+             \"rfi_evals_pruned\": {}, \"rfi_evals_unpruned\": {}, \"bnb_bounds\": {}, \
+             \"bnb_prunes\": {}}}",
+            s.id,
+            s.fds,
+            s.nodes_pruned,
+            s.nodes_unpruned,
+            s.rfi_evals_pruned,
+            s.rfi_evals_unpruned,
+            s.bnb_bounds,
+            s.bnb_prunes
+        );
+        json.push_str(if i + 1 < reliable_stats.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ],\n  \"telemetry\": ");
     // RunReport::to_json is a complete JSON document; embedded as a

@@ -16,6 +16,7 @@
 //! Every command body lives in [`dbmine::render`], shared with the
 //! `dbmined` daemon — the two front ends print byte-identical output.
 
+use dbmine::fdrank::ScoreKind;
 use dbmine::relation::csv::read_relation_path;
 use dbmine::relation::{Relation, ShardedRelation};
 use dbmine::render;
@@ -37,7 +38,7 @@ fn usage() -> ! {
          USAGE:\n\
          \x20 dbmine analyze    <file.csv> [--phi-t F] [--phi-v F] [--psi F]\n\
          \x20 dbmine duplicates <file.csv> [--phi-t F]\n\
-         \x20 dbmine fds        <file.csv> [--approx EPS] [--max-lhs N]\n\
+         \x20 dbmine fds        <file.csv> [--approx EPS] [--score S] [--theta F] [--max-lhs N]\n\
          \x20 dbmine mvds       <file.csv> [--max-lhs N]\n\
          \x20 dbmine joins      <file.csv> --with <other.csv>\n\
          \x20 dbmine partition  <file.csv> [--k N] [--phi-t F]\n\
@@ -48,6 +49,14 @@ fn usage() -> ! {
          \x20 --phi-v F    value-clustering accuracy φV (default 0.0)\n\
          \x20 --psi F      FD-RANK threshold ψ in [0,1] (default 0.5)\n\
          \x20 --approx E   mine approximate FDs with g3 error ≤ E\n\
+         \x20 --score S    FD quality score: g3 (default) or rfi, the\n\
+         \x20              bias-corrected reliable fraction of\n\
+         \x20              information. `fds --score rfi` mines reliable\n\
+         \x20              dependencies (F̂ ≥ θ, branch-and-bound);\n\
+         \x20              `analyze`/`redesign --score rfi` re-rank\n\
+         \x20              FD-RANK output by F̂ descending\n\
+         \x20 --theta F    reliability threshold θ in [0,1] for\n\
+         \x20              --score rfi (default 0.2)\n\
          \x20 --max-lhs N  bound FD left-hand-side size\n\
          \x20 --k N        force the number of horizontal partitions\n\
          \x20 --steps N    decomposition steps for redesign (default 3)\n\
@@ -122,6 +131,21 @@ impl Args {
     }
     fn shards(&self) -> Option<usize> {
         self.usize_flag("shards")
+    }
+    fn score(&self) -> ScoreKind {
+        self.flags
+            .get("score")
+            .map(|v| v.parse().unwrap_or_else(|_| bad_flag("score", v)))
+            .unwrap_or_default()
+    }
+    fn theta(&self) -> Option<f64> {
+        let theta = self.f64_flag("theta");
+        if let Some(t) = theta {
+            if !(0.0..=1.0).contains(&t) {
+                bad_flag("theta", &t.to_string());
+            }
+        }
+        theta
     }
 }
 
@@ -233,6 +257,8 @@ fn main() {
     // `fds`) whose computation never reaches LIMBO Phase 1.
     let _ = args.threads();
     let _ = args.shards();
+    let _ = args.score();
+    let _ = args.theta();
     let profile = args.flags.get("profile").cloned();
     if profile.is_some() {
         if !telemetry::compiled() {
@@ -253,6 +279,7 @@ fn main() {
                 args.usize_flag("max-lhs"),
                 args.threads(),
                 args.shards(),
+                args.score(),
             );
             print!("{}", render::run_analyze(&ctx, &config));
         }
@@ -265,14 +292,22 @@ fn main() {
             );
         }
         "fds" => {
+            let approx = args.f64_flag("approx");
+            let score = args.score();
+            if approx.is_some() && score == ScoreKind::Rfi {
+                eprintln!("error: --approx (g3 mining) cannot be combined with --score rfi");
+                exit(2);
+            }
             let ctx = AnalysisCtx::from(load_input(&args));
             print!(
                 "{}",
                 render::run_fds(
                     &ctx,
-                    args.f64_flag("approx"),
+                    approx,
                     args.usize_flag("max-lhs"),
                     args.threads(),
+                    score,
+                    args.theta(),
                 )
             );
         }
@@ -314,6 +349,7 @@ fn main() {
             let config = MinerConfig {
                 threads: args.threads(),
                 shards: args.shards(),
+                score: args.score(),
                 ..MinerConfig::default()
             };
             print!("{}", render::run_redesign(&ctx, steps, &config));

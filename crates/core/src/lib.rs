@@ -43,6 +43,7 @@
 //! | [`summaries`] | duplicate tuples, horizontal partitioning, value & attribute grouping |
 //! | [`fdmine`] | FDEP and TANE dependency miners, minimum covers |
 //! | [`fdrank`] | FD-RANK, RAD/RTR, vertical decomposition |
+//! | [`reliability`] | bias-corrected F̂ scoring, branch-and-bound reliable-FD mining |
 //! | [`datagen`] | DB2-sample / DBLP-style generators, error injection |
 //! | [`baselines`] | Apriori itemsets, pairwise duplicate detection |
 
@@ -55,6 +56,7 @@ pub use dbmine_ib as ib;
 pub use dbmine_infotheory as infotheory;
 pub use dbmine_limbo as limbo;
 pub use dbmine_relation as relation;
+pub use dbmine_reliability as reliability;
 pub use dbmine_summaries as summaries;
 pub use dbmine_telemetry as telemetry;
 

@@ -2,7 +2,7 @@
 
 use dbmine_context::AnalysisCtx;
 use dbmine_fdmine::{mine_fdep_ctx, mine_tane_ctx, minimum_cover, Fd, TaneOptions};
-use dbmine_fdrank::{rad_ctx, rank_fds, rtr_ctx, RankedFd};
+use dbmine_fdrank::{rad_ctx, rank_by_rfi, rank_fds, rtr_ctx, RankedFd, ScoreKind};
 use dbmine_limbo::LimboParams;
 use dbmine_relation::stats::ColumnProfile;
 use dbmine_relation::Relation;
@@ -47,6 +47,11 @@ pub struct MinerConfig {
     /// the object count, so every worker count produces byte-identical
     /// results.
     pub shards: Option<usize>,
+    /// Which quality score orders the ranked dependencies: the paper's
+    /// FD-RANK information-loss order ([`ScoreKind::G3`]) or a re-rank
+    /// by the bias-corrected reliable fraction of information
+    /// ([`ScoreKind::Rfi`], descending F̂).
+    pub score: ScoreKind,
 }
 
 impl Default for MinerConfig {
@@ -59,6 +64,7 @@ impl Default for MinerConfig {
             max_lhs: None,
             threads: 1,
             shards: None,
+            score: ScoreKind::G3,
         }
     }
 }
@@ -72,6 +78,10 @@ pub struct RankedDependency {
     pub rad: f64,
     /// `RTR(X ∪ Y)` of the dependency's attributes.
     pub rtr: f64,
+    /// The reliable fraction of information `F̂(X→Y)`, populated (and
+    /// used as the primary sort key, descending) when the pipeline ran
+    /// with [`ScoreKind::Rfi`].
+    pub rfi: Option<f64>,
 }
 
 impl RankedDependency {
@@ -192,13 +202,18 @@ impl StructureReport {
         )
         .unwrap();
         for r in self.top(10) {
+            let rfi = match r.rfi {
+                Some(s) => format!(" F̂={s:.3}"),
+                None => String::new(),
+            };
             writeln!(
                 out,
-                "  {:<40} rank={:.3} RAD={:.3} RTR={:.3}{}",
+                "  {:<40} rank={:.3} RAD={:.3} RTR={:.3}{}{}",
                 r.display(&names),
                 r.fd.rank,
                 r.rad,
                 r.rtr,
+                rfi,
                 if r.fd.promoted { "  *" } else { "" }
             )
             .unwrap();
@@ -280,17 +295,25 @@ impl StructureMiner {
         let ranked = {
             let _s = dbmine_telemetry::span!("miner.rank");
             let ranked_fds = rank_fds(&cover, &attribute_grouping, c.psi);
-            ranked_fds
-                .into_iter()
-                .map(|fd| {
-                    let attrs = fd.attrs();
-                    RankedDependency {
-                        rad: rad_ctx(ctx, attrs),
-                        rtr: rtr_ctx(ctx, attrs),
-                        fd,
-                    }
-                })
-                .collect()
+            let decorate = |fd: RankedFd, rfi: Option<f64>| {
+                let attrs = fd.attrs();
+                RankedDependency {
+                    rad: rad_ctx(ctx, attrs),
+                    rtr: rtr_ctx(ctx, attrs),
+                    rfi,
+                    fd,
+                }
+            };
+            match c.score {
+                ScoreKind::G3 => ranked_fds
+                    .into_iter()
+                    .map(|fd| decorate(fd, None))
+                    .collect(),
+                ScoreKind::Rfi => rank_by_rfi(ctx, ranked_fds)
+                    .into_iter()
+                    .map(|(fd, score)| decorate(fd, Some(score)))
+                    .collect(),
+            }
         };
 
         StructureReport {
@@ -368,6 +391,29 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rfi_score_mode_populates_and_orders() {
+        let rel = figure4();
+        let g3 = StructureMiner::default().analyze(&rel);
+        assert!(g3.ranked.iter().all(|r| r.rfi.is_none()));
+        assert!(!g3.render(&rel).contains("F̂="));
+
+        let report = StructureMiner::new(MinerConfig {
+            score: ScoreKind::Rfi,
+            ..Default::default()
+        })
+        .analyze(&rel);
+        assert!(report.ranked.iter().all(|r| r.rfi.is_some()));
+        for w in report.ranked.windows(2) {
+            assert!(
+                w[0].rfi.unwrap() >= w[1].rfi.unwrap(),
+                "{:?}",
+                report.ranked
+            );
+        }
+        assert!(report.render(&rel).contains("F̂="));
     }
 
     #[test]

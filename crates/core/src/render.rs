@@ -10,8 +10,10 @@
 use crate::{FdMiner, MinerConfig, StructureMiner};
 use dbmine_context::AnalysisCtx;
 use dbmine_fdmine::{mine_approximate_ctx, minimum_cover, TaneOptions};
+use dbmine_fdrank::ScoreKind;
 use dbmine_limbo::LimboParams;
 use dbmine_relation::Relation;
+use dbmine_reliability::{mine_reliable_ctx, ReliableOptions, DEFAULT_THETA};
 use dbmine_summaries::{find_duplicate_tuples_ctx, horizontal_partition_ctx};
 use std::fmt::Write;
 
@@ -55,15 +57,54 @@ pub fn run_duplicates(
     out
 }
 
-/// `fds`: exact TANE mining (or approximate at `g3 ≤ approx`).
+/// `fds`: exact TANE mining, approximate mining at `g3 ≤ approx`, or —
+/// with `score = rfi` — reliable mining at `F̂ ≥ theta` (branch-and-
+/// bound pruned; `theta` defaults to [`DEFAULT_THETA`]). The `approx`
+/// and `rfi` modes are mutually exclusive; both front ends reject the
+/// combination before calling here, and `rfi` wins if it ever reaches
+/// this function.
 pub fn run_fds(
     ctx: &AnalysisCtx,
     approx: Option<f64>,
     max_lhs: Option<usize>,
     threads: usize,
+    score: ScoreKind,
+    theta: Option<f64>,
 ) -> String {
     let names = ctx.relation().attr_names().to_vec();
     let mut out = String::new();
+    if score == ScoreKind::Rfi {
+        let theta = theta.unwrap_or(DEFAULT_THETA);
+        let mut reliable = mine_reliable_ctx(
+            ctx,
+            ReliableOptions {
+                theta,
+                max_lhs,
+                threads,
+                prune: true,
+            },
+        );
+        writeln!(
+            out,
+            "reliable dependencies (F̂ ≥ {theta}): {}",
+            reliable.len()
+        )
+        .unwrap();
+        reliable.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.fd.cmp(&b.fd)));
+        for f in reliable.iter().take(30) {
+            writeln!(
+                out,
+                "  {:<44} F̂ = {:.4}  (plugin {:.4} − bias {:.4})  g3 = {:.4}",
+                f.fd.display(&names),
+                f.score,
+                f.plugin,
+                f.bias,
+                f.g3
+            )
+            .unwrap();
+        }
+        return out;
+    }
     match approx {
         Some(eps) => {
             let approx = mine_approximate_ctx(ctx, eps, max_lhs, threads);
@@ -246,6 +287,7 @@ pub fn analyze_config(
     max_lhs: Option<usize>,
     threads: usize,
     shards: Option<usize>,
+    score: ScoreKind,
 ) -> MinerConfig {
     MinerConfig {
         phi_tuples: phi_t.unwrap_or(0.1),
@@ -255,6 +297,7 @@ pub fn analyze_config(
         max_lhs,
         threads,
         shards,
+        score,
     }
 }
 
@@ -308,16 +351,43 @@ mod tests {
     fn run_analyze_renders_report() {
         let rel = figure4();
         let ctx = AnalysisCtx::of(&rel);
-        let out = run_analyze(&ctx, &analyze_config(None, None, None, None, 1, None));
+        let out = run_analyze(
+            &ctx,
+            &analyze_config(None, None, None, None, 1, None, ScoreKind::G3),
+        );
         assert!(out.contains("# column profile"));
         assert!(out.contains("# dependencies"));
     }
 
     #[test]
-    fn run_fds_exact_and_approx() {
+    fn run_fds_exact_approx_and_reliable() {
         let rel = figure4();
         let ctx = AnalysisCtx::of(&rel);
-        assert!(run_fds(&ctx, None, None, 1).contains("exact minimal dependencies"));
-        assert!(run_fds(&ctx, Some(0.3), None, 1).contains("approximate dependencies"));
+        assert!(run_fds(&ctx, None, None, 1, ScoreKind::G3, None)
+            .contains("exact minimal dependencies"));
+        assert!(run_fds(&ctx, Some(0.3), None, 1, ScoreKind::G3, None)
+            .contains("approximate dependencies"));
+        let rfi = run_fds(&ctx, None, None, 1, ScoreKind::Rfi, Some(0.1));
+        assert!(rfi.contains("reliable dependencies (F̂ ≥ 0.1)"), "{rfi}");
+        // Scores print descending.
+        let scores: Vec<f64> = rfi
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split("F̂ = ").nth(1))
+            .map(|s| s.split_whitespace().next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!scores.is_empty());
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{scores:?}");
+    }
+
+    #[test]
+    fn run_analyze_rfi_mode_shows_score_column() {
+        let rel = figure4();
+        let ctx = AnalysisCtx::of(&rel);
+        let out = run_analyze(
+            &ctx,
+            &analyze_config(None, None, None, None, 1, None, ScoreKind::Rfi),
+        );
+        assert!(out.contains("F̂="), "{out}");
     }
 }

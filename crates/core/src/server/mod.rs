@@ -17,8 +17,16 @@
 //! {"id": 1, "cmd": "analyze", "path": "data.csv",
 //!  "phi_t": 0.1, "phi_v": 0.0, "psi": 0.5, "threads": 2, "shards": 4,
 //!  "max_lhs": 3, "approx": 0.05, "k": 4, "steps": 3,
+//!  "score": "g3", "theta": 0.2,
 //!  "csv": "A,B\n1,2\n", "name": "inline", "profile": false}
 //! ```
+//!
+//! `score` selects the FD quality measure (`"g3"`, the default, or
+//! `"rfi"` — the bias-corrected reliable fraction of information):
+//! `fds` with `"score":"rfi"` mines reliable dependencies at `F̂ ≥
+//! theta` (default 0.2) instead of exact/approximate ones, and
+//! `analyze`/`redesign` re-rank FD-RANK output by F̂. `approx` and
+//! `"score":"rfi"` are mutually exclusive.
 //!
 //! Commands: `analyze`, `duplicates`, `fds`, `partition`, `redesign`
 //! (relation commands — `output` is byte-identical to the CLI's stdout),
@@ -43,6 +51,7 @@ pub use json::{parse, Json, ParseError};
 use crate::render;
 use crate::MinerConfig;
 use dbmine_context::{AnalysisCtx, CtxCache, CtxCacheStats};
+use dbmine_fdrank::ScoreKind;
 use dbmine_relation::csv::{read_relation, read_relation_path};
 use dbmine_relation::Relation;
 use dbmine_telemetry as telemetry;
@@ -261,12 +270,20 @@ fn run_command(req: &Request, ctx: &AnalysisCtx) -> Result<String, String> {
                 req.max_lhs,
                 req.threads,
                 req.shards,
+                req.score,
             ),
         ),
         "duplicates" => {
             render::run_duplicates(ctx, req.phi_t.unwrap_or(0.1), req.threads, req.shards)
         }
-        "fds" => render::run_fds(ctx, req.approx, req.max_lhs, req.threads),
+        "fds" => render::run_fds(
+            ctx,
+            req.approx,
+            req.max_lhs,
+            req.threads,
+            req.score,
+            req.theta,
+        ),
         "partition" => render::run_partition(
             ctx,
             req.phi_t.unwrap_or(0.5),
@@ -281,6 +298,7 @@ fn run_command(req: &Request, ctx: &AnalysisCtx) -> Result<String, String> {
                 psi: req.psi.unwrap_or(0.5),
                 threads: req.threads,
                 shards: req.shards,
+                score: req.score,
                 ..MinerConfig::default()
             };
             render::run_redesign(ctx, req.steps, &config)
@@ -315,12 +333,14 @@ struct Request {
     approx: Option<f64>,
     k: Option<usize>,
     steps: usize,
+    score: ScoreKind,
+    theta: Option<f64>,
     profile: bool,
 }
 
 const KNOWN_FIELDS: &[&str] = &[
     "id", "cmd", "path", "csv", "name", "phi_t", "phi_v", "psi", "threads", "shards", "max_lhs",
-    "approx", "k", "steps", "profile",
+    "approx", "k", "steps", "score", "theta", "profile",
 ];
 
 impl Request {
@@ -396,6 +416,24 @@ impl Request {
                 return Err("field `approx` must be ≥ 0".to_string());
             }
         }
+        let score = match v.get("score") {
+            None => ScoreKind::default(),
+            Some(Json::Str(s)) => s
+                .parse::<ScoreKind>()
+                .map_err(|_| "field `score` must be `g3` or `rfi`".to_string())?,
+            Some(_) => return Err("field `score` must be a string".to_string()),
+        };
+        if approx.is_some() && score == ScoreKind::Rfi {
+            return Err(
+                "field `approx` (g3 mining) cannot be combined with score `rfi`".to_string(),
+            );
+        }
+        let theta = num_field("theta")?;
+        if let Some(t) = theta {
+            if !(0.0..=1.0).contains(&t) {
+                return Err("field `theta` must be in [0, 1]".to_string());
+            }
+        }
         let k = usize_field("k")?;
         if k == Some(0) {
             return Err("field `k` must be at least 1".to_string());
@@ -422,6 +460,8 @@ impl Request {
             approx,
             k,
             steps,
+            score,
+            theta,
             profile,
         })
     }
@@ -675,6 +715,10 @@ mod tests {
             "{\"cmd\":\"analyze\",\"csv\":\"A,B\\n1,2\\n\",\"shards\":\"four\"}",
             "{\"cmd\":\"analyze\",\"csv\":\"A,B\\n1,2\\n\",\"shards\":-1}",
             "{\"cmd\":\"analyze\",\"path\":\"/nonexistent/x.csv\"}",
+            "{\"cmd\":\"fds\",\"csv\":\"A,B\\n1,2\\n\",\"score\":\"g4\"}",
+            "{\"cmd\":\"fds\",\"csv\":\"A,B\\n1,2\\n\",\"score\":3}",
+            "{\"cmd\":\"fds\",\"csv\":\"A,B\\n1,2\\n\",\"theta\":1.5}",
+            "{\"cmd\":\"fds\",\"csv\":\"A,B\\n1,2\\n\",\"approx\":0.1,\"score\":\"rfi\"}",
         ] {
             let h = d.handle_line(bad);
             let v = parse(&h.line).expect("error responses are valid JSON");
@@ -753,6 +797,28 @@ mod tests {
         for p in [&csv_path, &store_path, &bad_path] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn rfi_fds_request_mines_reliable_dependencies() {
+        let d = Daemon::new(4);
+        let line = format!(
+            "{{\"cmd\":\"fds\",\"csv\":\"{}\",\"score\":\"rfi\",\"theta\":0.1}}",
+            figure4_csv().replace('\n', "\\n")
+        );
+        let v = parse(&d.handle_line(&line).line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let out = v.get("output").and_then(Json::as_str).unwrap();
+        assert!(out.contains("reliable dependencies (F̂ ≥ 0.1)"), "{out}");
+        // Omitting theta falls back to the default threshold — same
+        // default the CLI resolves, byte-identical front ends.
+        let default_line = format!(
+            "{{\"cmd\":\"fds\",\"csv\":\"{}\",\"score\":\"rfi\"}}",
+            figure4_csv().replace('\n', "\\n")
+        );
+        let dv = parse(&d.handle_line(&default_line).line).unwrap();
+        let dout = dv.get("output").and_then(Json::as_str).unwrap();
+        assert!(dout.contains("reliable dependencies (F̂ ≥ 0.2)"), "{dout}");
     }
 
     #[test]

@@ -21,9 +21,11 @@ pub mod decompose;
 pub mod measures;
 pub mod rank;
 pub mod redundancy;
+pub mod score;
 
 pub use content::{column_content, position_content};
 pub use decompose::{decompose, Decomposition};
 pub use measures::{rad, rad_ctx, rtr, rtr_ctx};
 pub use rank::{rank_fds, RankedFd};
 pub use redundancy::{redundancy_fraction, redundant_cells, redundant_cells_ctx, RedundantCell};
+pub use score::{rank_by_rfi, ScoreKind};

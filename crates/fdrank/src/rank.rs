@@ -65,9 +65,12 @@ pub fn rank_fds(fds: &[Fd], grouping: &AttributeGrouping, psi: f64) -> Vec<Ranke
             (f.lhs, f.rhs, rank, promoted)
         })
         .collect();
+    // `total_cmp`, not `partial_cmp().expect(…)`: score selection feeds
+    // externally-computed f64s through these sorts, and a comparator
+    // that panics on NaN turns one bad value into a lost report.
     ranked.sort_by(|a, b| {
         a.0.cmp(&b.0)
-            .then(a.2.partial_cmp(&b.2).expect("ranks are never NaN"))
+            .then(a.2.total_cmp(&b.2))
             .then(a.3.cmp(&b.3))
             .then(a.1.cmp(&b.1))
     });
@@ -96,8 +99,7 @@ pub fn rank_fds(fds: &[Fd], grouping: &AttributeGrouping, psi: f64) -> Vec<Ranke
     // at equal rank; then more attributes first.
     collapsed.sort_by(|a, b| {
         a.rank
-            .partial_cmp(&b.rank)
-            .expect("ranks are never NaN")
+            .total_cmp(&b.rank)
             .then(b.promoted.cmp(&a.promoted))
             .then(b.attrs().len().cmp(&a.attrs().len()))
             .then(a.lhs.cmp(&b.lhs))

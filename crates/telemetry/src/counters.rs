@@ -67,10 +67,20 @@ pub enum Counter {
     /// Chunks decoded from a binary columnar shard store
     /// (`relation::spill::StoreChunks`), one per block read.
     SpillChunksRead,
+    /// Reliable-fraction-of-information evaluations
+    /// (`dbmine-reliability`): one full F̂(X→Y) score — plugin fraction
+    /// plus permutation-model bias — computed from a partition pair.
+    RfiEvals,
+    /// Branch-and-bound upper bounds F̄ evaluated while deciding whether
+    /// a lattice node's descendants can be skipped (`mine_reliable`).
+    BnbBounds,
+    /// Lattice nodes whose descendants were pruned by the
+    /// branch-and-bound bound (`mine_reliable`).
+    BnbPrunes,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 20;
+pub const N_COUNTERS: usize = 23;
 
 /// All counters, in index order. `COUNTERS[c as usize] == c` for every
 /// counter `c`.
@@ -95,6 +105,9 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::TreeMerges,
     Counter::SpillChunksWritten,
     Counter::SpillChunksRead,
+    Counter::RfiEvals,
+    Counter::BnbBounds,
+    Counter::BnbPrunes,
 ];
 
 impl Counter {
@@ -121,6 +134,9 @@ impl Counter {
             Counter::TreeMerges => "tree_merges",
             Counter::SpillChunksWritten => "spill_chunks_written",
             Counter::SpillChunksRead => "spill_chunks_read",
+            Counter::RfiEvals => "rfi_evals",
+            Counter::BnbBounds => "bnb_bounds",
+            Counter::BnbPrunes => "bnb_prunes",
         }
     }
 }

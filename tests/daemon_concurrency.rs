@@ -109,7 +109,15 @@ fn cold_concurrent_requests_share_exactly_one_context() {
         use dbmine::relation::csv::read_relation;
         let rel = read_relation(csv.replace("\\n", "\n").as_bytes(), "t").unwrap();
         let ctx = AnalysisCtx::from(rel);
-        let config = dbmine::render::analyze_config(None, None, None, None, 1, None);
+        let config = dbmine::render::analyze_config(
+            None,
+            None,
+            None,
+            None,
+            1,
+            None,
+            dbmine::fdrank::ScoreKind::G3,
+        );
         dbmine::render::run_analyze(&ctx, &config);
         ctx.view_stats().builds
     };

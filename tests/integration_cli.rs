@@ -70,6 +70,45 @@ fn fds_exact_and_approximate() {
 }
 
 #[test]
+fn fds_rfi_mines_reliable_dependencies() {
+    let csv = write_demo_csv();
+    let (stdout, stderr, ok) = run(&[
+        "fds",
+        csv.to_str().unwrap(),
+        "--score",
+        "rfi",
+        "--theta",
+        "0.1",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("reliable dependencies (F̂ ≥ 0.1)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("F̂ ="), "{stdout}");
+    assert!(stdout.contains("g3 ="), "{stdout}");
+
+    // `--score rfi` contradicts `--approx` (g3 mining): typed error.
+    let (_, stderr, ok) = run(&[
+        "fds",
+        csv.to_str().unwrap(),
+        "--approx",
+        "0.2",
+        "--score",
+        "rfi",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--approx"), "{stderr}");
+
+    // Malformed values are typed flag errors, not panics.
+    for bad in [&["--score", "g4"][..], &["--theta", "1.5"][..]] {
+        let (_, stderr, ok) = run(&[&["fds", csv.to_str().unwrap()][..], bad].concat());
+        assert!(!ok);
+        assert!(stderr.contains("invalid value"), "{stderr}");
+    }
+}
+
+#[test]
 fn partition_runs() {
     let csv = write_demo_csv();
     let (stdout, _, ok) = run(&["partition", csv.to_str().unwrap(), "--k", "2"]);
