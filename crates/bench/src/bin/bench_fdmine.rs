@@ -10,12 +10,14 @@
 //! (used to keep the runner itself from rotting); the default
 //! configuration mirrors the criterion bench.
 
+use dbmine::context::AnalysisCtx;
 use dbmine::datagen::{synthetic, PlantedFd, SyntheticSpec};
 use dbmine::fdmine::{
-    mine_approximate_with, mine_tane, PartitionScratch, StrippedPartition, TaneOptions,
+    mine_approximate_with, mine_tane, mine_tane_ctx, PartitionScratch, StrippedPartition,
+    TaneOptions,
 };
-use dbmine::relation::Relation;
-use dbmine::reliability::{mine_reliable, ReliableOptions};
+use dbmine::relation::{csv::write_relation_path, Relation, ShardedRelation};
+use dbmine::reliability::{mine_reliable, mine_reliable_ctx, ReliableOptions};
 use dbmine::telemetry;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -157,6 +159,77 @@ fn reliable_compare(
         s.id, s.fds, s.nodes_pruned, s.nodes_unpruned, s.rfi_evals_pruned, s.rfi_evals_unpruned
     );
     stats.push(s);
+}
+
+/// One store-vs-materialized mining comparison: the same miner driven
+/// from a chunk-backed `AnalysisCtx` over a shard store (bounded
+/// memory; the materialization ledger is asserted to stay at zero) and
+/// from the fully materialized relation.
+struct StoreVsMem {
+    id: String,
+    n_tuples: usize,
+    store_median_ms: f64,
+    mem_median_ms: f64,
+    store_peak_bytes: u64,
+    mem_peak_bytes: u64,
+}
+
+/// Runs one miner from `store_path` through both context sources,
+/// asserts the dependency lists are identical, and records wall time
+/// and peak live bytes for each path. The store closure re-opens the
+/// store per run so footer decoding is inside the measured window for
+/// both sides (the materialized path pays the same open plus the full
+/// n·m decode).
+#[allow(clippy::too_many_arguments)]
+fn store_vs_mem_compare<T: PartialEq + std::fmt::Debug>(
+    results: &mut Vec<Measurement>,
+    allocs: &mut Vec<AllocCount>,
+    rows: &mut Vec<StoreVsMem>,
+    samples: usize,
+    store_path: &std::path::Path,
+    n: usize,
+    id: &str,
+    mine: impl Fn(&AnalysisCtx) -> Vec<T>,
+) {
+    let mine = &mine;
+    let store_run = || {
+        let store = ShardedRelation::open_store(store_path).expect("open shard store");
+        let ctx = AnalysisCtx::from_chunks(store).expect("chunk-backed context");
+        let fds = mine(&ctx);
+        assert_eq!(
+            ctx.view_stats().materializations,
+            0,
+            "store-backed mining materialized the relation"
+        );
+        fds
+    };
+    let mem_run = || {
+        let store = ShardedRelation::open_store(store_path).expect("open shard store");
+        let rel = store.materialize().expect("materialize relation");
+        let ctx = AnalysisCtx::from(rel);
+        mine(&ctx)
+    };
+    assert_eq!(
+        store_run(),
+        mem_run(),
+        "store-backed and materialized mining disagree"
+    );
+    measure(results, &format!("{id}_store"), samples, store_run);
+    let store_median_ms = results.last().expect("just pushed").median_ms;
+    measure(results, &format!("{id}_mem"), samples, mem_run);
+    let mem_median_ms = results.last().expect("just pushed").median_ms;
+    count(allocs, &format!("{id}_store"), store_run);
+    let store_peak_bytes = allocs.last().expect("just pushed").peak_bytes;
+    count(allocs, &format!("{id}_mem"), mem_run);
+    let mem_peak_bytes = allocs.last().expect("just pushed").peak_bytes;
+    rows.push(StoreVsMem {
+        id: id.to_string(),
+        n_tuples: n,
+        store_median_ms,
+        mem_median_ms,
+        store_peak_bytes,
+        mem_peak_bytes,
+    });
 }
 
 fn scaling_relation(n: usize) -> Relation {
@@ -305,6 +378,57 @@ fn main() {
         },
     );
 
+    // Store-vs-materialized mining: one shard store spilled once, then
+    // mined through a chunk-backed context (zero materializations,
+    // ledger-asserted) and through the fully materialized relation.
+    // The peak-bytes gap is the n·m column block the chunk-backed path
+    // never holds; identity of the FD lists is asserted inside.
+    let svm_n = if quick { 20_000 } else { 1_000_000 };
+    let svm_samples = if quick { samples } else { 2 };
+    let mut store_rows: Vec<StoreVsMem> = Vec::new();
+    {
+        let dir = std::env::temp_dir().join("dbmine_bench_store");
+        std::fs::create_dir_all(&dir).expect("create bench temp dir");
+        let pid = std::process::id();
+        let csv_path = dir.join(format!("synth8_{svm_n}_{pid}.csv"));
+        let store_path = dir.join(format!("synth8_{svm_n}_{pid}.dbss"));
+        write_relation_path(&scaling_relation(svm_n), &csv_path).expect("write bench csv");
+        ShardedRelation::scan_csv_path_spill(&csv_path, 65_536, &store_path)
+            .expect("spill shard store");
+        let _ = std::fs::remove_file(&csv_path);
+        store_vs_mem_compare(
+            &mut results,
+            &mut allocs,
+            &mut store_rows,
+            svm_samples,
+            &store_path,
+            svm_n,
+            &format!("tane/synth8/{svm_n}"),
+            |ctx| mine_tane_ctx(ctx, TaneOptions::default()),
+        );
+        store_vs_mem_compare(
+            &mut results,
+            &mut allocs,
+            &mut store_rows,
+            svm_samples,
+            &store_path,
+            svm_n,
+            &format!("reliable_theta0.6_lhs2/synth8/{svm_n}"),
+            |ctx| {
+                mine_reliable_ctx(
+                    ctx,
+                    ReliableOptions {
+                        theta: 0.6,
+                        max_lhs: Some(2),
+                        threads: 1,
+                        prune: true,
+                    },
+                )
+            },
+        );
+        let _ = std::fs::remove_file(&store_path);
+    }
+
     // One profiled representative run: the timed samples above ran with
     // span collection off, so only this window pays for span recording.
     let report = {
@@ -366,6 +490,25 @@ fn main() {
             s.bnb_prunes
         );
         json.push_str(if i + 1 < reliable_stats.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"store_vs_mem\": [\n");
+    for (i, s) in store_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"n_tuples\": {}, \"store_median_ms\": {:.4}, \
+             \"mem_median_ms\": {:.4}, \"store_peak_bytes\": {}, \"mem_peak_bytes\": {}}}",
+            s.id,
+            s.n_tuples,
+            s.store_median_ms,
+            s.mem_median_ms,
+            s.store_peak_bytes,
+            s.mem_peak_bytes
+        );
+        json.push_str(if i + 1 < store_rows.len() {
             ",\n"
         } else {
             "\n"

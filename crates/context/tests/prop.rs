@@ -7,9 +7,11 @@
 use dbmine_context::AnalysisCtx;
 use dbmine_relation::stats;
 use dbmine_relation::{
-    AttrSet, Relation, RelationBuilder, StrippedPartition, TupleRows, ValueIndex,
+    csv, AttrSet, Relation, RelationBuilder, ShardedRelation, StrippedPartition, TupleRows,
+    ValueIndex,
 };
 use proptest::prelude::*;
+use std::path::PathBuf;
 
 /// A random small categorical relation (2–5 attrs, ≤12 tuples, domain 3).
 fn arb_relation() -> impl Strategy<Value = Relation> {
@@ -86,8 +88,75 @@ fn apply(ctx: &AnalysisCtx, access: &Access) {
     }
 }
 
+/// Writes `rel` to a per-process temp CSV and returns its path. The
+/// memory twin and every chunk scan read this one file, so both sides
+/// intern values in the same first-occurrence order.
+fn temp_csv(rel: &Relation, tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dbmine_ctx_prop");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{tag}_{}.csv", std::process::id()));
+    csv::write_relation_path(rel, &path).expect("write csv");
+    path
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole invariant of the source-agnostic context: a
+    /// chunk-backed context — at any chunk size, CSV- or store-backed —
+    /// serves every view bit-identical to a memory-backed context over
+    /// the same file, without ever materializing the relation.
+    #[test]
+    fn chunk_backed_views_are_bit_identical_to_memory(case in arb_case()) {
+        let (rel, accesses) = case;
+        let path = temp_csv(&rel, "bits");
+        let mem = AnalysisCtx::from(csv::read_relation_path(&path).expect("read csv"));
+        for a in &accesses {
+            apply(&mem, a);
+        }
+        // Chunk sizes straddle the tuple count (1 = one tuple per
+        // chunk, 1000 = a single chunk); size 3 additionally round-trips
+        // through a binary shard store.
+        for &(chunk, spill) in &[(1usize, false), (3, true), (7, false), (1000, false)] {
+            let sharded = if spill {
+                let store = path.with_extension(format!("c{chunk}.dbss"));
+                ShardedRelation::scan_csv_path_spill(&path, chunk, &store).expect("spill store")
+            } else {
+                ShardedRelation::scan_csv_path(&path, chunk).expect("scan csv")
+            };
+            let ctx = AnalysisCtx::from_chunks(sharded).expect("chunk-backed context");
+            for a in &accesses {
+                apply(&ctx, a);
+            }
+
+            prop_assert_eq!(ctx.tuple_rows().len(), mem.tuple_rows().len());
+            prop_assert_eq!(
+                ctx.tuple_mutual_information().to_bits(),
+                mem.tuple_mutual_information().to_bits()
+            );
+            prop_assert_eq!(ctx.value_index().len(), mem.value_index().len());
+            prop_assert_eq!(
+                ctx.value_mutual_information().to_bits(),
+                mem.value_mutual_information().to_bits()
+            );
+            for a in 0..rel.n_attrs() {
+                prop_assert_eq!(ctx.attr_partition(a), mem.attr_partition(a));
+            }
+            // Both paths fold entropies through the same deterministic
+            // first-occurrence counter, so profiles and projection
+            // stats compare exactly, floats included.
+            prop_assert_eq!(ctx.column_profiles(), mem.column_profiles());
+            for a in &accesses {
+                if let Access::Projection(bits) = a {
+                    let set = AttrSet::from_bits(*bits);
+                    prop_assert_eq!(ctx.projection_stats(set), mem.projection_stats(set));
+                }
+            }
+
+            // Everything above was served from chunk passes alone.
+            prop_assert_eq!(ctx.view_stats().materializations, 0);
+        }
+    }
 
     #[test]
     fn cached_views_match_fresh_builds_under_any_ordering(case in arb_case()) {

@@ -172,17 +172,56 @@ fn load(path: &str) -> Relation {
     }
 }
 
-/// Materializes the in-memory relation from a store-backed scan — a
-/// zero-parse block decode, byte-identical to loading the original CSV.
-fn materialize_store(store: &ShardedRelation) -> Relation {
-    match store.materialize() {
-        Ok(r) => {
-            loaded_line(&r);
-            r
+fn loaded_store_line(s: &ShardedRelation) {
+    // A scanned/stored relation's dictionary holds the NULL sentinel
+    // plus exactly the non-null values that occur, so `dict().len() - 1`
+    // matches the CSV loader's count without materializing anything.
+    // (On relations where NULLs occur, the CSV line counts NULL as one
+    // more distinct value; whether NULL occurs is not in the footer.)
+    eprintln!(
+        "loaded {}: {} tuples × {} attributes, {} distinct values",
+        s.name(),
+        s.n_tuples(),
+        s.n_attrs(),
+        s.dict().len() - 1
+    );
+}
+
+/// Deletes an automatic temporary spill store when the process is done
+/// with it. Held for the whole run: a chunk-backed context re-reads the
+/// store lazily on each view build, so the file must outlive every
+/// command body.
+struct TempStore(std::path::PathBuf);
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A loaded input: the analysis context plus, for `--shards` auto-spill
+/// runs, the guard keeping the temporary store on disk.
+struct Input {
+    ctx: AnalysisCtx,
+    _temp: Option<TempStore>,
+}
+
+impl Input {
+    fn mem(rel: Relation) -> Input {
+        Input {
+            ctx: AnalysisCtx::from(rel),
+            _temp: None,
         }
-        Err(e) => {
-            eprintln!("error: cannot decode shard store: {e}");
-            exit(1);
+    }
+
+    fn chunked(store: ShardedRelation, temp: Option<TempStore>) -> Input {
+        loaded_store_line(&store);
+        match AnalysisCtx::from_chunks(store) {
+            Ok(ctx) => Input { ctx, _temp: temp },
+            Err(e) => {
+                eprintln!("error: cannot build analysis context: {e}");
+                exit(1);
+            }
         }
     }
 }
@@ -190,9 +229,13 @@ fn materialize_store(store: &ShardedRelation) -> Relation {
 /// Loads the primary input: a binary shard store directly (`.dbss`), a
 /// CSV spilled to a store on the way in (`--spill PATH`, or an
 /// automatic temporary store when `--shards` selects sharded ingest),
-/// or a plain CSV read. All four paths yield the same relation —
-/// same ids, same content hash, byte-identical command output.
-fn load_input(args: &Args) -> Relation {
+/// or a plain CSV read. The store paths build a chunk-backed
+/// [`AnalysisCtx`] — every view streams from the store in bounded
+/// memory, and the full relation is never materialized unless a
+/// row-resident command (duplicates previews, redesign, mvds, joins,
+/// small-`n` FDEP) asks for it. All four paths produce byte-identical
+/// command output.
+fn load_input(args: &Args) -> Input {
     let path = args.path.as_str();
     let spill = args.flags.get("spill").cloned();
     if path.ends_with(".dbss") {
@@ -207,7 +250,7 @@ fn load_input(args: &Args) -> Relation {
                 exit(1);
             }
         };
-        return materialize_store(&store);
+        return Input::chunked(store, None);
     }
     let spill_to = |store_path: &std::path::Path| -> ShardedRelation {
         match ShardedRelation::scan_csv_path_spill(path, 0, store_path) {
@@ -226,11 +269,11 @@ fn load_input(args: &Args) -> Relation {
         }
     };
     if let Some(store_path) = spill {
-        materialize_store(&spill_to(std::path::Path::new(&store_path)))
+        Input::chunked(spill_to(std::path::Path::new(&store_path)), None)
     } else if args.flags.contains_key("shards") {
         // Sharded ingest without an explicit store: spill once into a
-        // temporary store so every later pass is a block decode, then
-        // drop the store with the process.
+        // temporary store so every later pass is a block decode. The
+        // guard deletes the store when the process is done.
         let stem = std::path::Path::new(path)
             .file_stem()
             .and_then(|s| s.to_str())
@@ -240,17 +283,33 @@ fn load_input(args: &Args) -> Relation {
             "dbmine_autospill_{}_{stem}.dbss",
             std::process::id()
         ));
-        let rel = materialize_store(&spill_to(&store_path));
-        let _ = std::fs::remove_file(&store_path);
-        rel
+        let store = spill_to(&store_path);
+        Input::chunked(store, Some(TempStore(store_path)))
     } else {
-        load(path)
+        Input::mem(load(path))
     }
 }
 
 fn main() {
     #[cfg(feature = "telemetry")]
     telemetry::alloc::mark_installed();
+    // A chunk-backed context reports an unreadable or corrupted backing
+    // by panicking mid-pass (see `dbmine-context`); keep the CLI's
+    // single-line typed error contract — `error: …`, exit 1 — instead
+    // of a raw panic trace. Set RUST_BACKTRACE to debug real bugs.
+    if std::env::var_os("RUST_BACKTRACE").is_none() {
+        std::panic::set_hook(Box::new(|info| {
+            let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                s
+            } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                s.as_str()
+            } else {
+                "internal error"
+            };
+            eprintln!("error: {msg}");
+            exit(1);
+        }));
+    }
     let args = parse_args();
     // Validate shared numeric flags up front so every subcommand gives
     // the typed error for a malformed value — including ones (like
@@ -271,7 +330,8 @@ fn main() {
     }
     match args.command.as_str() {
         "analyze" => {
-            let ctx = AnalysisCtx::from(load_input(&args));
+            let input = load_input(&args);
+            let ctx = &input.ctx;
             let config = render::analyze_config(
                 args.f64_flag("phi-t"),
                 args.f64_flag("phi-v"),
@@ -281,14 +341,15 @@ fn main() {
                 args.shards(),
                 args.score(),
             );
-            print!("{}", render::run_analyze(&ctx, &config));
+            print!("{}", render::run_analyze(ctx, &config));
         }
         "duplicates" => {
-            let ctx = AnalysisCtx::from(load_input(&args));
+            let input = load_input(&args);
+            let ctx = &input.ctx;
             let phi = args.f64_flag("phi-t").unwrap_or(0.1);
             print!(
                 "{}",
-                render::run_duplicates(&ctx, phi, args.threads(), args.shards())
+                render::run_duplicates(ctx, phi, args.threads(), args.shards())
             );
         }
         "fds" => {
@@ -298,11 +359,11 @@ fn main() {
                 eprintln!("error: --approx (g3 mining) cannot be combined with --score rfi");
                 exit(2);
             }
-            let ctx = AnalysisCtx::from(load_input(&args));
+            let input = load_input(&args);
             print!(
                 "{}",
                 render::run_fds(
-                    &ctx,
+                    &input.ctx,
                     approx,
                     args.usize_flag("max-lhs"),
                     args.threads(),
@@ -312,12 +373,12 @@ fn main() {
             );
         }
         "mvds" => {
-            let rel = load_input(&args);
+            let input = load_input(&args);
             let max_lhs = args.usize_flag("max-lhs").unwrap_or(2);
-            print!("{}", render::run_mvds(&rel, max_lhs));
+            print!("{}", render::run_mvds(input.ctx.relation(), max_lhs));
         }
         "joins" => {
-            let left = load_input(&args);
+            let left_input = load_input(&args);
             let right_path = args
                 .flags
                 .get("with")
@@ -327,15 +388,16 @@ fn main() {
                     exit(2);
                 });
             let right = load(right_path);
-            print!("{}", render::run_joins(&left, &right));
+            print!("{}", render::run_joins(left_input.ctx.relation(), &right));
         }
         "partition" => {
-            let ctx = AnalysisCtx::from(load_input(&args));
+            let input = load_input(&args);
+            let ctx = &input.ctx;
             let phi = args.f64_flag("phi-t").unwrap_or(0.5);
             print!(
                 "{}",
                 render::run_partition(
-                    &ctx,
+                    ctx,
                     phi,
                     args.usize_flag("k"),
                     args.threads(),
@@ -344,7 +406,8 @@ fn main() {
             );
         }
         "redesign" => {
-            let ctx = AnalysisCtx::from(load_input(&args));
+            let input = load_input(&args);
+            let ctx = &input.ctx;
             let steps = args.usize_flag("steps").unwrap_or(3);
             let config = MinerConfig {
                 threads: args.threads(),
@@ -352,7 +415,7 @@ fn main() {
                 score: args.score(),
                 ..MinerConfig::default()
             };
-            print!("{}", render::run_redesign(&ctx, steps, &config));
+            print!("{}", render::run_redesign(ctx, steps, &config));
         }
         _ => usage(),
     }

@@ -5,7 +5,7 @@ use dbmine_fdmine::{mine_fdep_ctx, mine_tane_ctx, minimum_cover, Fd, TaneOptions
 use dbmine_fdrank::{rad_ctx, rank_by_rfi, rank_fds, rtr_ctx, RankedFd, ScoreKind};
 use dbmine_limbo::LimboParams;
 use dbmine_relation::stats::ColumnProfile;
-use dbmine_relation::Relation;
+use dbmine_relation::{Relation, ValueDict};
 use dbmine_summaries::{
     cluster_values_ctx, find_duplicate_tuples_ctx, group_attributes, AttributeGrouping,
     DuplicateReport, ValueClustering,
@@ -120,8 +120,15 @@ impl StructureReport {
     /// Renders the full report as human-readable text (the CLI's
     /// `analyze` output). `rel` must be the relation that was analyzed.
     pub fn render(&self, rel: &Relation) -> String {
+        self.render_with(rel.attr_names(), rel.dict())
+    }
+
+    /// As [`Self::render`], from the schema metadata alone — `names` and
+    /// `dict` must come from the relation (or context) that was
+    /// analyzed. This is what lets a chunk-backed context render an
+    /// `analyze` report without materializing the relation.
+    pub fn render_with(&self, names: &[String], dict: &ValueDict) -> String {
         use std::fmt::Write;
-        let names = rel.attr_names().to_vec();
         let mut out = String::new();
 
         writeln!(out, "# column profile").unwrap();
@@ -157,12 +164,7 @@ impl StructureReport {
         )
         .unwrap();
         for g in self.value_groups.duplicates().take(8) {
-            let vals: Vec<&str> = g
-                .values
-                .iter()
-                .take(6)
-                .map(|&v| rel.dict().string(v))
-                .collect();
+            let vals: Vec<&str> = g.values.iter().take(6).map(|&v| dict.string(v)).collect();
             writeln!(
                 out,
                 "  {{{}}} × {} tuples × {} attrs",
@@ -209,7 +211,7 @@ impl StructureReport {
             writeln!(
                 out,
                 "  {:<40} rank={:.3} RAD={:.3} RTR={:.3}{}{}",
-                r.display(&names),
+                r.display(names),
                 r.fd.rank,
                 r.rad,
                 r.rtr,
@@ -258,7 +260,6 @@ impl StructureMiner {
     pub fn analyze_ctx(&self, ctx: &AnalysisCtx) -> StructureReport {
         let _span = dbmine_telemetry::span!("miner.analyze");
         let c = &self.config;
-        let rel = ctx.relation();
         let columns = {
             let _s = dbmine_telemetry::span!("miner.profile_columns");
             ctx.column_profiles().to_vec()
@@ -276,11 +277,11 @@ impl StructureMiner {
                 .shards(c.shards),
             None,
         );
-        let attribute_grouping = group_attributes(&value_groups, rel.n_attrs());
+        let attribute_grouping = group_attributes(&value_groups, ctx.n_attrs());
 
         let fds = {
             let _s = dbmine_telemetry::span!("miner.mine_fds");
-            match self.effective_miner(rel) {
+            match self.effective_miner(ctx.n_tuples()) {
                 FdMiner::Fdep => mine_fdep_ctx(ctx),
                 _ => mine_tane_ctx(
                     ctx,
@@ -327,10 +328,10 @@ impl StructureMiner {
         }
     }
 
-    fn effective_miner(&self, rel: &Relation) -> FdMiner {
+    fn effective_miner(&self, n_tuples: usize) -> FdMiner {
         match self.config.fd_miner {
             FdMiner::Auto => {
-                if rel.n_tuples() <= 2_000 {
+                if n_tuples <= 2_000 {
                     FdMiner::Fdep
                 } else {
                     FdMiner::Tane

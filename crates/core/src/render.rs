@@ -20,7 +20,7 @@ use std::fmt::Write;
 /// `analyze`: the full structure-mining pipeline, rendered.
 pub fn run_analyze(ctx: &AnalysisCtx, config: &MinerConfig) -> String {
     let report = StructureMiner::new(*config).analyze_ctx(ctx);
-    report.render(ctx.relation())
+    report.render_with(ctx.attr_names(), ctx.dict())
 }
 
 /// `duplicates`: LIMBO tuple clustering at accuracy `φ_T = phi`.
@@ -71,7 +71,7 @@ pub fn run_fds(
     score: ScoreKind,
     theta: Option<f64>,
 ) -> String {
-    let names = ctx.relation().attr_names().to_vec();
+    let names = ctx.attr_names().to_vec();
     let mut out = String::new();
     if score == ScoreKind::Rfi {
         let theta = theta.unwrap_or(DEFAULT_THETA);
@@ -378,6 +378,37 @@ mod tests {
             .collect();
         assert!(!scores.is_empty());
         assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{scores:?}");
+    }
+
+    #[test]
+    fn store_backed_fds_is_byte_identical_and_never_materializes() {
+        // The PR-10 ledger contract: `fds` from a shard store — both g3
+        // and rfi scoring — prints the exact bytes of the CSV run while
+        // the chunk-backed context performs zero materializations.
+        use dbmine_relation::{csv, ShardedRelation};
+        let rel = db2_sample(&Db2Spec::default()).relation;
+        let dir = std::env::temp_dir().join("dbmine_render_ledger");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let pid = std::process::id();
+        let csv_path = dir.join(format!("db2_{pid}.csv"));
+        let store_path = dir.join(format!("db2_{pid}.dbss"));
+        csv::write_relation_path(&rel, &csv_path).expect("write csv");
+        ShardedRelation::scan_csv_path_spill(&csv_path, 16, &store_path).expect("spill store");
+
+        let mem = AnalysisCtx::from(csv::read_relation_path(&csv_path).expect("read csv"));
+        let store = ShardedRelation::open_store(&store_path).expect("open store");
+        let chunked = AnalysisCtx::from_chunks(store).expect("chunk-backed context");
+
+        let g3_mem = run_fds(&mem, None, Some(2), 1, ScoreKind::G3, None);
+        let g3_store = run_fds(&chunked, None, Some(2), 1, ScoreKind::G3, None);
+        assert_eq!(g3_store, g3_mem);
+        let rfi_mem = run_fds(&mem, None, Some(2), 1, ScoreKind::Rfi, Some(0.3));
+        let rfi_store = run_fds(&chunked, None, Some(2), 1, ScoreKind::Rfi, Some(0.3));
+        assert_eq!(rfi_store, rfi_mem);
+
+        assert_eq!(chunked.view_stats().materializations, 0);
+        let _ = std::fs::remove_file(&csv_path);
+        let _ = std::fs::remove_file(&store_path);
     }
 
     #[test]

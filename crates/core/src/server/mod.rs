@@ -201,7 +201,11 @@ impl Daemon {
         let (name, tuples, attrs, hash, ctx, cached) = if let Some(path) = req.store_path() {
             // Store-backed relation: the footer read is cheap metadata
             // validation, and the LRU key is the *stored* content hash —
-            // a warm hit never decodes a single block.
+            // a warm hit (including one warmed by a CSV request over the
+            // same content) never decodes a single block. A cold miss
+            // admits a *chunk-backed* context: views stream from the
+            // store on demand and the relation is never materialized,
+            // so admission itself decodes nothing either.
             let store = dbmine_relation::ShardedRelation::open_store(path)
                 .map_err(|e| format!("cannot read {path}: {e}"))?;
             if store.n_attrs() == 0 {
@@ -214,10 +218,7 @@ impl Daemon {
             let (name, tuples, attrs) =
                 (store.name().to_string(), store.n_tuples(), store.n_attrs());
             let (ctx, cached) = self.cache.get_or_insert_with(hash, || {
-                store
-                    .materialize()
-                    .map(AnalysisCtx::from)
-                    .map_err(|e| format!("cannot decode {path}: {e}"))
+                AnalysisCtx::from_chunks(store).map_err(|e| format!("cannot read {path}: {e}"))
             })?;
             (name, tuples, attrs, hash, ctx, cached)
         } else {
@@ -558,8 +559,8 @@ impl Body {
         if let Some(vs) = self.view_stats {
             write!(
                 out,
-                ",\"view_stats\":{{\"builds\":{},\"hits\":{}}}",
-                vs.builds, vs.hits
+                ",\"view_stats\":{{\"builds\":{},\"hits\":{},\"materializations\":{}}}",
+                vs.builds, vs.hits, vs.materializations
             )
             .unwrap();
         }

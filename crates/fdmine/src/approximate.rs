@@ -64,8 +64,7 @@ pub fn mine_approximate_ctx(
     threads: usize,
 ) -> Vec<ApproxFd> {
     assert!((0.0..1.0).contains(&epsilon), "ε must be in [0,1)");
-    let rel = ctx.relation();
-    let m = rel.n_attrs();
+    let m = ctx.n_attrs();
     let mut found: Vec<ApproxFd> = Vec::new();
     // Minimality: per RHS, the LHSs already emitted.
     let mut found_lhs: Vec<Vec<AttrSet>> = vec![Vec::new(); m];
@@ -73,7 +72,7 @@ pub fn mine_approximate_ctx(
     // Level 0/1 partitions.
     let mut prev_parts: FxHashMap<u64, StrippedPartition> = std::iter::once((
         AttrSet::EMPTY.bits(),
-        StrippedPartition::of_empty(rel.n_tuples()),
+        StrippedPartition::of_empty(ctx.n_tuples()),
     ))
     .collect();
     let attr_parts: Vec<StrippedPartition> = ctx

@@ -26,7 +26,7 @@ pub fn partition_of(rel: &Relation, attrs: AttrSet) -> StrippedPartition {
 pub fn partition_of_ctx(ctx: &AnalysisCtx, attrs: AttrSet) -> StrippedPartition {
     let mut iter = attrs.iter();
     match iter.next() {
-        None => StrippedPartition::of_empty(ctx.relation().n_tuples()),
+        None => StrippedPartition::of_empty(ctx.n_tuples()),
         Some(first) => {
             let mut scratch = PartitionScratch::new();
             let mut p = ctx.attr_partition(first).clone();

@@ -86,9 +86,8 @@ pub fn mine_tane(rel: &Relation, options: TaneOptions) -> Vec<Fd> {
 /// As [`mine_tane`], seeding level 1 from the context's memoized
 /// single-attribute partitions instead of rebuilding them.
 pub fn mine_tane_ctx(ctx: &AnalysisCtx, options: TaneOptions) -> Vec<Fd> {
-    let rel = ctx.relation();
-    let m = rel.n_attrs();
-    let r = rel.all_attrs();
+    let m = ctx.n_attrs();
+    let r = ctx.all_attrs();
     let threads = options.threads;
     let mut out: Vec<Fd> = Vec::new();
     // Persistent single-attribute partitions (level 1 + key pruning),
@@ -104,7 +103,7 @@ pub fn mine_tane_ctx(ctx: &AnalysisCtx, options: TaneOptions) -> Vec<Fd> {
     let mut prev = Level {
         parts: std::iter::once((
             AttrSet::EMPTY.bits(),
-            Part::new(StrippedPartition::of_empty(rel.n_tuples())),
+            Part::new(StrippedPartition::of_empty(ctx.n_tuples())),
         ))
         .collect(),
         cplus: std::iter::once((AttrSet::EMPTY.bits(), r)).collect(),
@@ -194,7 +193,7 @@ pub fn mine_tane_ctx(ctx: &AnalysisCtx, options: TaneOptions) -> Vec<Fd> {
                         let e_sub = cached_error(
                             sub,
                             &attr_parts,
-                            rel.n_tuples(),
+                            ctx.n_tuples(),
                             &prev.parts,
                             &current_parts,
                             &mut key_cache,
@@ -203,7 +202,7 @@ pub fn mine_tane_ctx(ctx: &AnalysisCtx, options: TaneOptions) -> Vec<Fd> {
                         let e_sub_a = cached_error(
                             sub.with(a),
                             &attr_parts,
-                            rel.n_tuples(),
+                            ctx.n_tuples(),
                             &prev.parts,
                             &current_parts,
                             &mut key_cache,

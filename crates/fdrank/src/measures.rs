@@ -32,12 +32,11 @@ pub fn rad(rel: &Relation, attrs: AttrSet) -> f64 {
 /// bounded memo — ranking many dependencies over shared attribute sets
 /// projects each set once instead of once per measure.
 pub fn rad_ctx(ctx: &AnalysisCtx, attrs: AttrSet) -> f64 {
-    let rel = ctx.relation();
-    let n = rel.n_tuples();
+    let n = ctx.n_tuples();
     if n <= 1 || attrs.is_empty() {
         return 1.0;
     }
-    let p_ca = attrs.len() as f64 / rel.n_attrs() as f64;
+    let p_ca = attrs.len() as f64 / ctx.n_attrs() as f64;
     let h = ctx.projection_entropy(attrs);
     1.0 - p_ca * h / (n as f64).log2()
 }
@@ -58,7 +57,7 @@ pub fn rtr(rel: &Relation, attrs: AttrSet) -> f64 {
 /// As [`rtr`], serving the distinct count from the context's bounded
 /// memo (one projection per attribute set, shared with [`rad_ctx`]).
 pub fn rtr_ctx(ctx: &AnalysisCtx, attrs: AttrSet) -> f64 {
-    let n = ctx.relation().n_tuples();
+    let n = ctx.n_tuples();
     if n == 0 || attrs.is_empty() {
         return 0.0;
     }

@@ -39,6 +39,11 @@ pub enum CsvError {
         line: Option<usize>,
         detail: String,
     },
+    /// A chunk pass was requested on a relation whose scan consumed a
+    /// plain reader, so there is no file to re-open
+    /// ([`crate::ShardedRelation::chunks`]). Re-scan from a path, spill
+    /// to a store, or drive passes with `chunks_from`.
+    NoBacking,
     /// An error with the source file attached. Line numbers, where
     /// known, stay on the wrapped error — the `Display` output is
     /// `path: line N: …`, so a mid-pass failure on a 10⁷-row file names
@@ -84,6 +89,11 @@ impl fmt::Display for CsvError {
                 let at = line.map(|l| format!("line {l}: ")).unwrap_or_default();
                 write!(f, "{at}CSV changed between scan and chunk passes: {detail}")
             }
+            CsvError::NoBacking => write!(
+                f,
+                "relation has no backing file to re-read; \
+                 scan from a path, spill to a store, or use chunks_from"
+            ),
             CsvError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
         }
     }

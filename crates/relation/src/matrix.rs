@@ -13,8 +13,10 @@
 //!   value in [`ValueIndex`], and aggregated under cluster merges by the
 //!   ADCF machinery in `dbmine-limbo`.
 
+use crate::csv::CsvError;
 use crate::dict::ValueId;
 use crate::relation::Relation;
+use crate::shard::RelationChunk;
 use dbmine_infotheory::{mutual_information, SparseDist};
 
 /// The feature-key stride for attribute-qualified value keys: cell
@@ -82,6 +84,28 @@ impl TupleRows {
         }
     }
 
+    /// [`TupleRows::build`] folded over a chunk stream instead of a
+    /// materialized relation: `dict_len`/`m`/`n` come from the scanned
+    /// metadata (`crate::ShardedRelation`), and chunks must arrive in
+    /// global tuple order. Chunk value ids are the global interned ids,
+    /// so every conditional row — and everything derived from it — is
+    /// bitwise the in-memory build.
+    pub fn from_chunks<I>(dict_len: usize, m: usize, n: usize, chunks: I) -> Result<Self, CsvError>
+    where
+        I: IntoIterator<Item = Result<RelationChunk, CsvError>>,
+    {
+        let stride = qualified_stride(dict_len, m);
+        let mass = 1.0 / m as f64;
+        let mut rows = Vec::with_capacity(n);
+        for chunk in chunks {
+            let chunk = chunk?;
+            for t in 0..chunk.n_rows() {
+                rows.push(qualified_row(stride, mass, chunk.row_values(t)));
+            }
+        }
+        Ok(TupleRows { rows, n })
+    }
+
     /// Number of tuples `n`.
     pub fn len(&self) -> usize {
         self.n
@@ -139,6 +163,40 @@ impl ValueIndex {
             }
             attr_counts[v as usize].push((a as u32, 1.0));
         }
+        Self::compact(universe, occurrences, attr_counts)
+    }
+
+    /// [`ValueIndex::build`] folded over a chunk stream: the same
+    /// row-major cell walk (`universe` is the frozen dictionary length),
+    /// so occurrence lists, `O` rows and everything derived from them
+    /// are bitwise the in-memory build.
+    pub fn from_chunks<I>(universe: usize, chunks: I) -> Result<Self, CsvError>
+    where
+        I: IntoIterator<Item = Result<RelationChunk, CsvError>>,
+    {
+        let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); universe];
+        let mut attr_counts: Vec<Vec<(u32, f64)>> = vec![Vec::new(); universe];
+        for chunk in chunks {
+            let chunk = chunk?;
+            for local in 0..chunk.n_rows() {
+                let t = (chunk.start + local) as u32;
+                for (a, v) in chunk.row_values(local).enumerate() {
+                    let occ = &mut occurrences[v as usize];
+                    if occ.last() != Some(&t) {
+                        occ.push(t);
+                    }
+                    attr_counts[v as usize].push((a as u32, 1.0));
+                }
+            }
+        }
+        Ok(Self::compact(universe, occurrences, attr_counts))
+    }
+
+    fn compact(
+        universe: usize,
+        mut occurrences: Vec<Vec<u32>>,
+        mut attr_counts: Vec<Vec<(u32, f64)>>,
+    ) -> Self {
         let mut values = Vec::new();
         let mut occ_out = Vec::new();
         let mut o_out = Vec::new();

@@ -28,12 +28,15 @@
 //! the input is exhausted, so buffer-boundary placement — even inside a
 //! quoted embedded newline — can never change what is parsed.
 
+use crate::attrset::AttrSet;
 use crate::csv::{header_names, normalize_row, parse_record, CsvError, Field};
 use crate::dict::{ValueDict, ValueId, NULL_VALUE};
 use crate::hash::ContentHasher;
 use crate::matrix::{qualified_row, qualified_stride};
+use crate::partition::StrippedPartition;
 use crate::spill::{SpillWriter, StoreChunks, StoreError, StoreFooter};
-use dbmine_infotheory::{entropy_of, SparseDist};
+use crate::stats::{ColumnProfile, ProjectionCounter};
+use dbmine_infotheory::{entropy, entropy_of, SparseDist};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 
@@ -530,12 +533,11 @@ impl ShardedRelation {
     /// [`ShardedRelation::scan_csv_path`] scans, a zero-parse block
     /// decode for store-backed relations ([`ShardedRelation::open_store`]
     /// / [`ShardedRelation::scan_csv_path_spill`]). Errors carry the
-    /// backing file's path.
+    /// backing file's path; a reader-fed scan with no backing file is a
+    /// recoverable [`CsvError::NoBacking`], not a crash.
     pub fn chunks(&self) -> Result<Chunks<'_>, CsvError> {
         match &self.backing {
-            Backing::None => panic!(
-                "ShardedRelation::chunks needs a path-backed scan; use chunks_from for readers"
-            ),
+            Backing::None => Err(CsvError::NoBacking),
             Backing::Csv(path) => {
                 let file =
                     std::fs::File::open(path).map_err(|e| CsvError::from(e).in_file(path))?;
@@ -788,6 +790,144 @@ where
     Ok((entropy_of(&marginal) - h_cond).max(0.0))
 }
 
+/// Every single-attribute stripped partition `π_A`, built by a chunked
+/// group-by over the global frozen dictionary — bit-identical to
+/// `StrippedPartition::of_attr` for every attribute, because both
+/// bucket tuples in global order into classes created at each value's
+/// first occurrence.
+///
+/// Two chunk passes: one to count per-column value frequencies (so
+/// singleton classes are never allocated, exactly like `of_attr`), one
+/// to bucket. Peak memory is two dense `u32` tables per column plus the
+/// partitions themselves — never the `n × m` cell matrix.
+pub fn attr_partitions_chunks<S: ChunkSource>(
+    source: &S,
+) -> Result<Vec<StrippedPartition>, CsvError> {
+    let sharded = source.relation();
+    let m = sharded.n_attrs();
+    let n = sharded.n_tuples();
+    // Pass 1: per-column value frequencies (tables grow to each
+    // column's own max id + 1, mirroring `of_attr`'s width).
+    let mut count: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for chunk in source.open_pass()? {
+        let chunk = chunk?;
+        for (a, col) in chunk.columns.iter().enumerate() {
+            let table = &mut count[a];
+            for &v in col {
+                let v = v as usize;
+                if v >= table.len() {
+                    table.resize(v + 1, 0);
+                }
+                table[v] += 1;
+            }
+        }
+    }
+    // Pass 2: bucket tuples of shared values in global tuple order.
+    let mut slot: Vec<Vec<u32>> = count.iter().map(|t| vec![u32::MAX; t.len()]).collect();
+    let mut classes: Vec<Vec<Vec<u32>>> = vec![Vec::new(); m];
+    for chunk in source.open_pass()? {
+        let chunk = chunk?;
+        for (a, col) in chunk.columns.iter().enumerate() {
+            for (local, &v) in col.iter().enumerate() {
+                let c = count[a][v as usize];
+                if c >= 2 {
+                    let s = &mut slot[a][v as usize];
+                    if *s == u32::MAX {
+                        *s = classes[a].len() as u32;
+                        classes[a].push(Vec::with_capacity(c as usize));
+                    }
+                    classes[a][*s as usize].push((chunk.start + local) as u32);
+                }
+            }
+        }
+    }
+    Ok(classes
+        .into_iter()
+        .map(|mut classes| {
+            // First-tuple order is already lexicographic; the sort is
+            // the same cheap presorted pass `of_attr` keeps for the
+            // documented invariant.
+            classes.sort_unstable();
+            StrippedPartition { classes, n }
+        })
+        .collect())
+}
+
+/// Per-column profiles (distinct, NULL fraction, entropy) folded over
+/// one chunk pass — bit-identical to `stats::profile_columns` /
+/// the single-attribute `stats::projection_stats`, because each
+/// column's counts accumulate in the same first-occurrence order the
+/// in-memory [`ProjectionCounter`] fold uses.
+pub fn column_profiles_chunks<S: ChunkSource>(source: &S) -> Result<Vec<ColumnProfile>, CsvError> {
+    let sharded = source.relation();
+    let m = sharded.n_attrs();
+    let n = sharded.n_tuples();
+    // Slot table per column: value id → first-occurrence slot.
+    let mut slot: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut counts: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut nulls = vec![0usize; m];
+    for chunk in source.open_pass()? {
+        let chunk = chunk?;
+        for (a, col) in chunk.columns.iter().enumerate() {
+            let slot = &mut slot[a];
+            let counts = &mut counts[a];
+            for &v in col {
+                if v == NULL_VALUE {
+                    nulls[a] += 1;
+                }
+                let v = v as usize;
+                if v >= slot.len() {
+                    slot.resize(v + 1, u32::MAX);
+                }
+                let s = &mut slot[v];
+                if *s == u32::MAX {
+                    *s = counts.len() as u32;
+                    counts.push(1);
+                } else {
+                    counts[*s as usize] += 1;
+                }
+            }
+        }
+    }
+    Ok((0..m)
+        .map(|a| ColumnProfile {
+            name: sharded.attr_names[a].clone(),
+            distinct: counts[a].len(),
+            null_fraction: if n == 0 {
+                0.0
+            } else {
+                nulls[a] as f64 / n as f64
+            },
+            entropy: if n == 0 {
+                0.0
+            } else {
+                let nf = n as f64;
+                entropy(counts[a].iter().map(|&c| c as f64 / nf))
+            },
+        })
+        .collect())
+}
+
+/// Distinct count and bag-semantics entropy of the projection on
+/// `attrs`, folded over one chunk pass — bit-identical to
+/// `stats::projection_stats`, which drives the same
+/// [`ProjectionCounter`] with the same keys in the same global tuple
+/// order.
+pub fn projection_stats_chunks<S: ChunkSource>(
+    source: &S,
+    attrs: AttrSet,
+) -> Result<(usize, f64), CsvError> {
+    let n = source.relation().n_tuples();
+    let mut counter = ProjectionCounter::new();
+    for chunk in source.open_pass()? {
+        let chunk = chunk?;
+        for t in 0..chunk.n_rows() {
+            counter.observe(attrs.iter().map(|a| chunk.value(t, a)).collect());
+        }
+    }
+    Ok((counter.distinct(), counter.entropy(n)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1033,6 +1173,88 @@ mod tests {
             .to_string();
         assert!(msg.contains("line 1:"), "no header line: {msg}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reader_fed_scan_chunk_pass_is_typed_error() {
+        // A scan from a plain reader has nothing to re-open: every
+        // chunk-pass entry point must surface a recoverable
+        // `NoBacking`, not a crash.
+        let s = ShardedRelation::scan_csv(SAMPLE.as_bytes(), "t", 2).unwrap();
+        assert!(matches!(s.chunks(), Err(CsvError::NoBacking)));
+        assert!(matches!(s.materialize(), Err(CsvError::NoBacking)));
+        assert!(matches!(s.verify_content(), Err(CsvError::NoBacking)));
+        let dir = std::env::temp_dir().join("dbmine_nobacking_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join(format!("nb_{}.dbss", std::process::id()));
+        assert!(matches!(s.spill_to(&store), Err(CsvError::NoBacking)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunk_folds_match_in_memory_builds() {
+        use crate::matrix::ValueIndex;
+        use crate::stats;
+
+        let rel = in_memory(SAMPLE, "t");
+        for chunk_tuples in [1, 2, 3, 100] {
+            let s = ShardedRelation::scan_csv(SAMPLE.as_bytes(), "t", chunk_tuples).unwrap();
+            let src = ReaderChunkSource::new(&s, || Ok(SAMPLE.as_bytes()));
+
+            let parts = attr_partitions_chunks(&src).unwrap();
+            assert_eq!(parts.len(), rel.n_attrs());
+            for (a, part) in parts.iter().enumerate() {
+                assert_eq!(
+                    part,
+                    &StrippedPartition::of_attr(&rel, a),
+                    "π_{a} chunk_tuples={chunk_tuples}"
+                );
+            }
+
+            let profiles = column_profiles_chunks(&src).unwrap();
+            assert_eq!(profiles, stats::profile_columns(&rel));
+
+            for attrs in [
+                AttrSet::EMPTY,
+                AttrSet::single(1),
+                [0usize, 2].into_iter().collect(),
+                rel.all_attrs(),
+            ] {
+                let (d, h) = projection_stats_chunks(&src, attrs).unwrap();
+                assert_eq!(d, stats::projection_distinct(&rel, attrs));
+                assert_eq!(
+                    h.to_bits(),
+                    stats::projection_entropy(&rel, attrs).to_bits(),
+                    "H(π) chunk_tuples={chunk_tuples} attrs={attrs:?}"
+                );
+            }
+
+            let tr = TupleRows::from_chunks(
+                s.dict().len(),
+                s.n_attrs(),
+                s.n_tuples(),
+                src.open_pass().unwrap(),
+            )
+            .unwrap();
+            let mem_tr = TupleRows::build(&rel);
+            assert_eq!(tr.len(), mem_tr.len());
+            assert_eq!(
+                tr.mutual_information().to_bits(),
+                mem_tr.mutual_information().to_bits()
+            );
+
+            let vi = ValueIndex::from_chunks(s.dict().len(), src.open_pass().unwrap()).unwrap();
+            let mem_vi = ValueIndex::build(&rel);
+            assert_eq!(vi.values(), mem_vi.values());
+            for i in 0..vi.len() {
+                assert_eq!(vi.occurrences(i), mem_vi.occurrences(i));
+                assert_eq!(vi.o_row(i), mem_vi.o_row(i));
+            }
+            assert_eq!(
+                vi.mutual_information().to_bits(),
+                mem_vi.mutual_information().to_bits()
+            );
+        }
     }
 
     #[test]

@@ -6,11 +6,77 @@
 //! Tuple Reduction* needs the distinct count of the projection (set
 //! semantics). Both live in `dbmine-fdrank`; this module supplies the raw
 //! counts so they stay cheap to compute for many attribute sets.
+//!
+//! All folds run in **first-occurrence order** of the projected tuples
+//! ([`ProjectionCounter`]), never in hash-map iteration order: the
+//! entropy sum is a float fold, so a deterministic order is what makes
+//! the numbers reproducible run-to-run *and* bit-identical between the
+//! in-memory path and the chunked-ingest path (`crate::shard`), which
+//! feeds the same counter the same rows in the same global tuple order.
 
 use crate::attrset::AttrSet;
 use crate::relation::{AttrId, Relation};
 use dbmine_infotheory::entropy;
 use std::collections::HashMap;
+
+/// A streaming group-by over projected tuples that keeps occurrence
+/// counts in **first-occurrence order**. Feeding it the same key
+/// sequence always yields the same `counts()` slice, so every float
+/// fold over the counts is deterministic — the shared substrate of the
+/// in-memory and chunk-fold projection statistics.
+#[derive(Debug, Default)]
+pub struct ProjectionCounter {
+    slots: HashMap<Vec<u32>, u32>,
+    counts: Vec<usize>,
+}
+
+impl ProjectionCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one projected tuple (its value ids in ascending attribute
+    /// order).
+    pub fn observe(&mut self, key: Vec<u32>) {
+        match self.slots.get(&key) {
+            Some(&s) => self.counts[s as usize] += 1,
+            None => {
+                self.slots.insert(key, self.counts.len() as u32);
+                self.counts.push(1);
+            }
+        }
+    }
+
+    /// Number of distinct projected tuples seen so far.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrence counts, in first-occurrence order.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Shannon entropy (bits) of the observed distribution over `n`
+    /// total observations (bag semantics, `p = count/n`); zero for an
+    /// empty fold.
+    pub fn entropy(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        entropy(self.counts.iter().map(|&c| c as f64 / n))
+    }
+}
+
+fn count_projection(rel: &Relation, attrs: AttrSet) -> ProjectionCounter {
+    let mut counter = ProjectionCounter::new();
+    for t in 0..rel.n_tuples() {
+        counter.observe(rel.tuple_projected(t, attrs));
+    }
+    counter
+}
 
 /// Frequencies of the distinct tuples of `rel` projected on `attrs`
 /// (bag semantics: every input tuple contributes one occurrence).
@@ -25,37 +91,24 @@ pub fn projection_counts(rel: &Relation, attrs: AttrSet) -> HashMap<Vec<u32>, us
 /// Number of distinct tuples in the projection of `rel` on `attrs`
 /// (the `n'` of the RTR measure).
 pub fn projection_distinct(rel: &Relation, attrs: AttrSet) -> usize {
-    projection_counts(rel, attrs).len()
+    count_projection(rel, attrs).distinct()
 }
 
 /// Shannon entropy (bits) of the projected-tuple distribution under bag
-/// semantics: `H(π_attrs(T))` with `p(row) = count(row)/n`.
+/// semantics: `H(π_attrs(T))` with `p(row) = count(row)/n`, folded in
+/// first-occurrence order.
 pub fn projection_entropy(rel: &Relation, attrs: AttrSet) -> f64 {
-    let n = rel.n_tuples() as f64;
-    if n == 0.0 {
-        return 0.0;
-    }
-    entropy(
-        projection_counts(rel, attrs)
-            .values()
-            .map(|&c| c as f64 / n),
-    )
+    count_projection(rel, attrs).entropy(rel.n_tuples())
 }
 
 /// Distinct count *and* bag-semantics entropy of the projection from a
 /// single shared counts pass. This is the shape `dbmine-context`
 /// memoizes per `AttrSet`: RAD needs the entropy, RTR the distinct
-/// count, and computing both from one `projection_counts` map halves
-/// the projection work for every cached attribute set.
+/// count, and computing both from one counting pass halves the
+/// projection work for every cached attribute set.
 pub fn projection_stats(rel: &Relation, attrs: AttrSet) -> (usize, f64) {
-    let n = rel.n_tuples() as f64;
-    let counts = projection_counts(rel, attrs);
-    let entropy = if n == 0.0 {
-        0.0
-    } else {
-        entropy(counts.values().map(|&c| c as f64 / n))
-    };
-    (counts.len(), entropy)
+    let counter = count_projection(rel, attrs);
+    (counter.distinct(), counter.entropy(rel.n_tuples()))
 }
 
 /// Entropy (bits) of a single column's empirical value distribution.
@@ -150,5 +203,30 @@ mod tests {
         let r = crate::relation::RelationBuilder::new("e", &["X"]).build();
         assert_eq!(projection_entropy(&r, AttrSet::single(0)), 0.0);
         assert_eq!(projection_distinct(&r, AttrSet::single(0)), 0);
+    }
+
+    #[test]
+    fn counter_order_is_first_occurrence() {
+        let mut c = ProjectionCounter::new();
+        for key in [vec![7u32], vec![3], vec![7], vec![7], vec![3], vec![9]] {
+            c.observe(key);
+        }
+        assert_eq!(c.counts(), &[3, 2, 1]);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn counter_entropy_matches_projection_entropy() {
+        // Same fold, same order, same bits.
+        let r = figure4();
+        let attrs: AttrSet = [0usize, 1].into_iter().collect();
+        let mut c = ProjectionCounter::new();
+        for t in 0..r.n_tuples() {
+            c.observe(r.tuple_projected(t, attrs));
+        }
+        assert_eq!(
+            c.entropy(r.n_tuples()).to_bits(),
+            projection_entropy(&r, attrs).to_bits()
+        );
     }
 }

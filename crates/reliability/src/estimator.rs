@@ -219,8 +219,8 @@ impl RfiScorer {
             .collect();
         let h_y = y_sizes.iter().map(SizeMultiset::entropy_bits).collect();
         RfiScorer {
-            n: ctx.relation().n_tuples(),
-            lnfact: lnfact_table(ctx.relation().n_tuples()),
+            n: ctx.n_tuples(),
+            lnfact: lnfact_table(ctx.n_tuples()),
             y_sizes,
             h_y,
         }

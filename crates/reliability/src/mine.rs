@@ -104,8 +104,7 @@ pub fn mine_reliable_ctx(ctx: &AnalysisCtx, options: ReliableOptions) -> Vec<Rel
     } = options;
     assert!((0.0..=1.0).contains(&theta), "θ must be in [0,1]");
     let _span = span("fdmine.reliable");
-    let rel = ctx.relation();
-    let m = rel.n_attrs();
+    let m = ctx.n_attrs();
     let scorer = RfiScorer::new(ctx, threads);
     let mut found: Vec<ReliableFd> = Vec::new();
     // Minimality: per RHS, the LHSs already emitted.
@@ -114,7 +113,7 @@ pub fn mine_reliable_ctx(ctx: &AnalysisCtx, options: ReliableOptions) -> Vec<Rel
     // Level 0/1 partitions (the level-local subset memo).
     let mut prev_parts: FxHashMap<u64, StrippedPartition> = std::iter::once((
         AttrSet::EMPTY.bits(),
-        StrippedPartition::of_empty(rel.n_tuples()),
+        StrippedPartition::of_empty(ctx.n_tuples()),
     ))
     .collect();
     let attr_parts: Vec<StrippedPartition> = ctx

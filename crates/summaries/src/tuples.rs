@@ -104,7 +104,7 @@ pub fn find_duplicate_tuples_with(rel: &Relation, params: LimboParams) -> Duplic
 /// at most once per context).
 pub fn find_duplicate_tuples_ctx(ctx: &AnalysisCtx, params: LimboParams) -> DuplicateReport {
     let _span = dbmine_telemetry::span("summaries.duplicate_tuples");
-    let n = ctx.relation().n_tuples();
+    let n = ctx.n_tuples();
     let objects = tuple_dcfs_ctx(ctx, params.threads);
     let mi = ctx.tuple_mutual_information();
     debug_assert_eq!(objects.len(), n);

@@ -77,10 +77,14 @@ pub enum Counter {
     /// Lattice nodes whose descendants were pruned by the
     /// branch-and-bound bound (`mine_reliable`).
     BnbPrunes,
+    /// Full in-memory `Relation` materializations performed lazily by a
+    /// chunk-backed `AnalysisCtx` for row-resident consumers
+    /// (`dbmine-context`). Zero on the store-backed `fds` path.
+    CtxMaterializations,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 23;
+pub const N_COUNTERS: usize = 24;
 
 /// All counters, in index order. `COUNTERS[c as usize] == c` for every
 /// counter `c`.
@@ -108,6 +112,7 @@ pub const COUNTERS: [Counter; N_COUNTERS] = [
     Counter::RfiEvals,
     Counter::BnbBounds,
     Counter::BnbPrunes,
+    Counter::CtxMaterializations,
 ];
 
 impl Counter {
@@ -137,6 +142,7 @@ impl Counter {
             Counter::RfiEvals => "rfi_evals",
             Counter::BnbBounds => "bnb_bounds",
             Counter::BnbPrunes => "bnb_prunes",
+            Counter::CtxMaterializations => "ctx_materializations",
         }
     }
 }
